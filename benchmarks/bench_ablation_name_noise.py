@@ -1,0 +1,73 @@
+"""A-NOISE — Ablation: name-noise channel composition (DESIGN.md §5).
+
+Shows that sanitization recovers case/punctuation noise but not
+term-level variants — reproducing *why* the paper's Fig. 2 barely
+differs from Fig. 1.  Three generators: no noise, case/punct-only
+noise, and the calibrated term-level mix.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.tokenize import sanitize_name
+from repro.core.reporting import format_percent, format_table
+from repro.tracegen.catalog import CatalogConfig, MusicCatalog
+from repro.tracegen.gnutella_trace import GnutellaShareTrace, GnutellaTraceConfig
+from repro.utils.text import NameNoiseModel
+
+CASE_ONLY = NameNoiseModel(
+    p_case=0.6, p_punct=0.5, p_featuring=0.0, p_subtitle=0.0, p_typo=0.0, p_drop_term=0.0
+)
+NO_NOISE = NameNoiseModel(
+    p_case=0.0, p_punct=0.0, p_featuring=0.0, p_subtitle=0.0, p_typo=0.0, p_drop_term=0.0
+)
+
+
+def _sanitize_recovery(trace: GnutellaShareTrace) -> tuple[int, float]:
+    names = trace.unique_names()
+    observed = {trace.names.lookup(int(i)) for i in np.unique(trace.name_ids)}
+    sanitized = {sanitize_name(n) for n in observed}
+    return len(observed), 1.0 - len(sanitized) / len(observed)
+
+
+def test_name_noise_ablation(benchmark):
+    catalog = MusicCatalog(
+        CatalogConfig(n_songs=30_000, n_artists=2_500, lexicon_size=15_000, seed=5)
+    )
+
+    def run():
+        out = {}
+        for label, noise in (
+            ("no noise", NO_NOISE),
+            ("case/punct only", CASE_ONLY),
+            ("calibrated mix", NameNoiseModel()),
+        ):
+            trace = GnutellaShareTrace(
+                catalog,
+                GnutellaTraceConfig(
+                    n_peers=400, mean_library_size=100.0, noise=noise, seed=5
+                ),
+            )
+            uniq, recovery = _sanitize_recovery(trace)
+            out[label] = (uniq, recovery)
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = [
+        (label, f"{uniq:,}", format_percent(rec))
+        for label, (uniq, rec) in results.items()
+    ]
+    print()
+    print(
+        format_table(
+            ["noise model", "unique names", "uniques recovered by sanitization"],
+            rows,
+            title="A-NOISE: why Fig. 2 barely differs from Fig. 1",
+        )
+    )
+
+    # Case/punct noise is recoverable; the calibrated mix is not.
+    assert results["case/punct only"][1] > 3 * results["calibrated mix"][1]
+    assert results["no noise"][1] < 0.02

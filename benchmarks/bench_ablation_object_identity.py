@@ -1,0 +1,75 @@
+"""A-IDENTITY — Name-based vs hash-based object identity.
+
+The paper identifies Gnutella objects by their *name strings* and
+observes massive uniqueness inflation from spelling variants; eDonkey
+(Fessant et al., §VI) identifies objects by content hash, which the
+trace's ground-truth song ids model exactly.  Comparing replica
+statistics under both identities separates what the Zipf popularity
+does from what the naming noise does — and shows the paper's Zipf
+conclusion survives either identity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.replication import summarize_replication
+from repro.analysis.zipf_fit import fit_zipf
+from repro.core.reporting import format_percent, format_table
+
+
+def test_object_identity_ablation(benchmark, bundle):
+    trace = bundle.trace
+
+    def run():
+        by_name = trace.replica_counts()
+        by_hash = trace.replica_counts(trace.song_ids)
+        return (
+            summarize_replication(by_name, trace.n_peers),
+            summarize_replication(by_hash, trace.n_peers),
+            fit_zipf(by_name[by_name > 0]),
+            fit_zipf(by_hash[by_hash > 0]),
+        )
+
+    name_s, hash_s, name_fit, hash_fit = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = [
+        (
+            "unique objects",
+            f"{name_s.n_objects:,}",
+            f"{hash_s.n_objects:,}",
+        ),
+        (
+            "singleton fraction",
+            format_percent(name_s.singleton_fraction),
+            format_percent(hash_s.singleton_fraction),
+        ),
+        (
+            "mean replicas",
+            f"{name_s.mean_replicas:.2f}",
+            f"{hash_s.mean_replicas:.2f}",
+        ),
+        (
+            "objects on >= 20 peers",
+            format_percent(name_s.at_least_20_peers),
+            format_percent(hash_s.at_least_20_peers),
+        ),
+        ("Zipf exponent", f"{name_fit.exponent:.2f}", f"{hash_fit.exponent:.2f}"),
+    ]
+    print()
+    print(
+        format_table(
+            ["metric", "name identity (Gnutella)", "hash identity (eDonkey-style)"],
+            rows,
+            title="A-IDENTITY: what naming noise adds on top of Zipf popularity",
+        )
+    )
+
+    # Naming noise inflates uniqueness and starves replication...
+    assert name_s.n_objects > hash_s.n_objects
+    assert name_s.mean_replicas < hash_s.mean_replicas
+    # ...but the heavy tail is there under either identity (the paper's
+    # point stands even for hash-identified systems like eDonkey).
+    assert hash_s.singleton_fraction > 0.3
+    assert hash_fit.exponent > 0.3
+    assert hash_s.at_least_20_peers < 0.05

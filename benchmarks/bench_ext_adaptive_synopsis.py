@@ -1,0 +1,53 @@
+"""X-SYN — The adaptive-synopsis extension (§VII, ref [9]).
+
+The paper's proposed direction: query-centric, transient-aware content
+synopses.  Compares four synopsis-selection policies at an identical
+message budget; the query-centric policies must beat the
+content-centric one, and the adaptive policy must win on transient
+queries.
+"""
+
+from __future__ import annotations
+
+from repro.core.reporting import format_percent, format_table
+from repro.core.synopsis import SynopsisConfig, run_synopsis_experiment
+
+
+def test_adaptive_synopsis_policies(benchmark, bundle, content):
+    def run():
+        return run_synopsis_experiment(
+            bundle, SynopsisConfig(n_queries=800), content=content
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    for o in result.outcomes:
+        rows.append(
+            (
+                o.policy,
+                format_percent(o.success_rate),
+                format_percent(o.success_transient),
+                format_percent(o.success_persistent),
+                f"{o.mean_messages:.0f}",
+                f"{o.mean_hops_to_hit:.1f}",
+            )
+        )
+    print()
+    print(
+        format_table(
+            ["policy", "success", "transient", "persistent", "msgs", "hops-to-hit"],
+            rows,
+            title=(
+                f"X-SYN: synopsis policies ({result.n_queries} queries, "
+                f"budget {result.walk_budget} msgs)"
+            ),
+        )
+    )
+
+    content_c = result.outcome("content")
+    static_q = result.outcome("static-query")
+    adaptive = result.outcome("adaptive")
+    assert static_q.success_rate > content_c.success_rate
+    assert adaptive.success_transient > static_q.success_transient
+    assert adaptive.success_rate >= static_q.success_rate - 0.02

@@ -1,0 +1,42 @@
+"""FIG3 — Number of Gnutella clients with each *term*.
+
+Paper Fig. 3: names are split with the Gnutella protocol tokenization
+and the clients-per-term distribution is plotted.  Paper headline:
+1.22M unique terms; 71.3% on a single peer; 98.3% on <= 0.1% of peers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.zipf_fit import fit_zipf
+from repro.core.reporting import format_percent, format_table
+
+
+def test_fig3_term_replica_distribution(benchmark, content):
+    def run():
+        counts = content.term_peer_counts()
+        return counts[counts > 0]
+
+    counts = benchmark.pedantic(run, rounds=1, iterations=1)
+    n_peers = content.n_peers
+    threshold = max(1, int(0.01 * n_peers))  # 1% of peers (scale analog)
+    fit = fit_zipf(counts)
+
+    rows = [
+        ("unique terms", f"{counts.size:,}"),
+        ("single-peer terms (paper: 71.3% at 37k peers)",
+         format_percent(float(np.mean(counts == 1)))),
+        (f"terms on <= {threshold} peers = 1% (paper: 98.3% on <=0.1%)",
+         format_percent(float(np.mean(counts <= threshold)))),
+        ("Zipf exponent (MLE)", f"{fit.exponent:.2f}"),
+    ]
+    print()
+    print(format_table(["metric", "value"], rows, title="FIG3: term replicas"))
+
+    # Scale note: with 1,000 peers each term is denser than in the
+    # 37,572-peer crawl; the scale-invariant claim is that the vast
+    # majority of terms live on a tiny fraction of peers.
+    assert np.mean(counts == 1) > 0.25
+    assert np.mean(counts <= threshold) > 0.75
+    assert fit.exponent > 0.3

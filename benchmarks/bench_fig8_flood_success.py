@@ -1,0 +1,40 @@
+"""FIG8 — Query success rate vs flood TTL, Zipf vs uniform placement.
+
+Paper Fig. 8: on a 40,000-node Gnutella network, flood success rates
+for uniform placement with 1/4/9/19/39 replicas and for the measured
+Zipf replica distribution (mean 5).  Headline: the Zipf curve tracks
+the lowest uniform curves; at TTL 3 it succeeds only ~5%.
+"""
+
+from __future__ import annotations
+
+from repro.core.flood_sim import FloodSimConfig, run_fig8
+from repro.core.reporting import format_table
+
+
+def test_fig8_flood_success_rates(benchmark):
+    def run():
+        return run_fig8(FloodSimConfig(n_eval_objects=80))
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    headers = ["TTL"] + [c.label for c in result.curves]
+    ttls = result.curves[0].ttls
+    rows = []
+    for i, t in enumerate(ttls):
+        rows.append([t] + [f"{c.success[i]:.4f}" for c in result.curves])
+    print()
+    print(
+        format_table(
+            headers, rows, title="FIG8: flood success rate (40,000-node network)"
+        )
+    )
+
+    zipf = result.curve("Zipf").success
+    low = result.curve("Uniform (1 replicas)").success
+    mid = result.curve("Uniform (9 replicas)").success
+    hi = result.curve("Uniform (39 replicas)").success
+    assert 0.02 <= zipf[2] <= 0.10  # paper: ~5% at TTL 3
+    assert 0.45 <= hi[2] <= 0.80  # paper: ~62% predicted for 0.1%
+    assert zipf[2] < mid[2]  # Zipf hugs the low-replication curves
+    assert zipf[2] >= low[2]

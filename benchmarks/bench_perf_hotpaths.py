@@ -1,0 +1,82 @@
+"""PERF — Microbenchmarks of the numeric hot paths.
+
+Unlike the experiment benches (single-shot regenerations), these are
+real repeated-measurement microbenchmarks of the kernels everything
+else is built on — the pieces the hpc-parallel guidance says to keep
+vectorized.  Regressions here slow every experiment, so they get
+dedicated timings: Zipf sampling, replica counting, flooding, Bloom
+probing and Chord routing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dht.chord import ChordRing
+from repro.overlay.flooding import flood_depths
+from repro.overlay.topology import two_tier_gnutella
+from repro.utils.bloom import BloomFilter
+from repro.utils.rng import make_rng
+from repro.utils.zipf import ZipfDistribution
+
+
+@pytest.fixture(scope="module")
+def zipf_dist():
+    return ZipfDistribution(1_000_000, 1.0)
+
+
+def test_perf_zipf_sampling(benchmark, zipf_dist):
+    """1M-rank inverse-CDF sampling, 100k draws per round."""
+    rng = make_rng(0)
+    out = benchmark(zipf_dist.sample, 100_000, rng)
+    assert out.size == 100_000
+
+
+def test_perf_replica_counting(benchmark):
+    """Distinct-holder counting over 1M (value, holder) pairs."""
+    rng = make_rng(1)
+    values = rng.integers(0, 200_000, size=1_000_000)
+    holders = rng.integers(0, 40_000, size=1_000_000)
+
+    from repro.analysis.popularity import clients_per_value
+
+    counts = benchmark(clients_per_value, values, holders)
+    assert counts.sum() > 0
+
+
+def test_perf_flood_40k(benchmark):
+    """Full-depth flood on the 40k-node Fig. 8 topology."""
+    topo = two_tier_gnutella(40_000, up_up_degree=8.0, seed=0)
+
+    def run():
+        depth, _ = flood_depths(topo, 3, 5)
+        return depth
+
+    depth = benchmark(run)
+    assert (depth >= 0).sum() > 1_000
+
+
+def test_perf_bloom_probe(benchmark):
+    """100k membership probes against a 100k-capacity filter."""
+    bf = BloomFilter.for_capacity(100_000, fp_rate=0.01)
+    bf.add(np.arange(0, 200_000, 2))
+    probes = np.arange(100_000)
+
+    hits = benchmark(bf.contains, probes)
+    assert hits.shape == (100_000,)
+
+
+def test_perf_chord_lookup(benchmark):
+    """Single Chord lookup on a 10k-node ring."""
+    ring = ChordRing(10_000, seed=0)
+    rng = make_rng(2)
+    keys = rng.integers(0, 2**63, size=512, dtype=np.uint64)
+    i = iter(range(1 << 30))
+
+    def run():
+        k = int(keys[next(i) % keys.size])
+        return ring.lookup(k, 0).hops
+
+    hops = benchmark(run)
+    assert hops >= 0

@@ -1,0 +1,73 @@
+"""T-COST — Messages per *successful* query, flood vs DHT.
+
+The §V comparison in economic form: a flood's cost grows with TTL
+while its success under the measured Zipf placement stays poor, so the
+messages-per-successful-query curve is brutal at every TTL — versus a
+DHT lookup whose cost is flat and whose success equals content
+availability.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.experiment import Fig8TopologyConfig, build_fig8_topology
+from repro.core.flood_sim import PlacementSpec, run_flood_success
+from repro.core.reporting import format_table
+from repro.dht.chord import ChordRing
+from repro.overlay.flooding import flood_depths
+from repro.utils.rng import make_rng
+
+
+def test_cost_per_success(benchmark):
+    topology = build_fig8_topology(Fig8TopologyConfig())
+    rng = make_rng(5)
+
+    def run():
+        # Mean flood messages per TTL.
+        forwarding = np.flatnonzero(topology.forwards)
+        sources = forwarding[rng.integers(0, forwarding.size, size=15)]
+        messages = np.zeros(5)
+        for s in sources:
+            for ttl in range(1, 6):
+                _, msgs = flood_depths(topology, int(s), ttl)
+                messages[ttl - 1] += msgs
+        messages /= sources.size
+        curve = run_flood_success(
+            topology, PlacementSpec(), n_eval_objects=60, seed=5
+        )
+        ring = ChordRing(topology.n_nodes, seed=5)
+        dht_cost = ring.mean_lookup_hops(150, seed=5) * 2.5  # terms/query
+        return messages, curve.success, dht_cost
+
+    messages, success, dht_cost = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    # The DHT resolves whatever exists; under the Fig. 8 placement every
+    # evaluated object exists, so its success is ~1.
+    rows = []
+    for ttl in range(1, 6):
+        s = success[ttl - 1]
+        cps = messages[ttl - 1] / s if s > 0 else float("inf")
+        rows.append(
+            (
+                f"flood TTL {ttl}",
+                f"{messages[ttl - 1]:,.0f}",
+                f"{s:.4f}",
+                f"{cps:,.0f}",
+            )
+        )
+    rows.append(("DHT keyword lookup", f"{dht_cost:.0f}", "1.0000", f"{dht_cost:.0f}"))
+    print()
+    print(
+        format_table(
+            ["strategy", "messages/query", "success", "messages/success"],
+            rows,
+            title="T-COST: the economics of the §V comparison",
+        )
+    )
+
+    # At every TTL the flood pays orders of magnitude more per success.
+    for ttl in range(1, 6):
+        s = success[ttl - 1]
+        if s > 0:
+            assert messages[ttl - 1] / s > 10 * dht_cost

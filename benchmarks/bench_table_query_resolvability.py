@@ -1,0 +1,45 @@
+"""T-RESOLV — How many results could queries get with global knowledge?
+
+The query-side complement of T-RARE: the paper's objects are so thinly
+replicated, and query terms so mismatched with annotations, that the
+overwhelming majority of real queries are *rare* (< 20 results, Loo et
+al.) even for an oracle — before any search strategy spends a message.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.resolvability import measure_resolvability
+from repro.core.reporting import format_percent, format_table
+
+
+def test_query_resolvability(benchmark, bundle, content):
+    def run():
+        return measure_resolvability(
+            bundle.workload, content, n_samples=1_500, seed=2
+        )
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = [
+        ("queries sampled", f"{report.n_queries:,}"),
+        ("unresolvable anywhere (0 results)", format_percent(report.unresolvable_fraction)),
+        (
+            f"rare (< {report.rare_threshold} results, Loo et al.)",
+            format_percent(report.rare_fraction),
+        ),
+        ("median available results", f"{report.median_results:.0f}"),
+        ("90th-percentile results", f"{report.quantile(0.9):.0f}"),
+        ("99th-percentile results", f"{report.quantile(0.99):.0f}"),
+    ]
+    print()
+    print(
+        format_table(
+            ["metric", "value"],
+            rows,
+            title="T-RESOLV: oracle result availability for real queries",
+        )
+    )
+
+    # The hybrid's flood phase is doomed before it starts:
+    assert report.rare_fraction > 0.6
+    assert report.unresolvable_fraction > 0.3

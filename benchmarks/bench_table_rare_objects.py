@@ -1,0 +1,39 @@
+"""T-RARE — Loo et al. rare-object classification (§VI).
+
+Paper: "fewer than 4% of the objects in the system are replicated on
+20 or more peers" — so almost every query is "rare" by the hybrid
+literature's own definition, defeating the flood phase.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.replication import replication_table, summarize_replication
+from repro.core.reporting import format_percent, format_table
+
+
+def test_rare_object_fraction(benchmark, bundle):
+    trace = bundle.trace
+
+    def run():
+        return summarize_replication(trace.replica_counts(), trace.n_peers)
+
+    summary = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = [
+        ("objects on >= 20 peers (paper: <4%)",
+         format_percent(summary.at_least_20_peers)),
+        ("rare objects (Loo et al.)", format_percent(summary.rare_fraction())),
+    ]
+    print()
+    print(format_table(["metric", "value"], rows, title="T-RARE: rare objects"))
+
+    table = replication_table(trace.replica_counts(), trace.n_peers)
+    print(
+        format_table(
+            ["replication ratio <=", "fraction of objects"],
+            [(format_percent(r, 3), format_percent(f)) for r, f in table],
+            title="Replication-ratio CDF (Gia comparison, §VI)",
+        )
+    )
+
+    assert summary.at_least_20_peers < 0.04

@@ -1,0 +1,69 @@
+"""T-STRAT — Every search strategy, one identical replay.
+
+The replay engine runs plain flooding, expanding ring, random walks,
+DHT lookups (naive and Bloom) and the hybrid over the same query and
+source sample, producing the §V comparison as one table.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.replay import (
+    DhtStrategy,
+    ExpandingRingStrategy,
+    FloodStrategy,
+    HybridStrategy,
+    WalkStrategy,
+    replay,
+)
+from repro.core.reporting import format_table
+from repro.dht.chord import ChordRing
+from repro.dht.keyword_index import KeywordIndex
+from repro.hybrid.search import HybridSearch
+from repro.overlay.network import UnstructuredNetwork
+from repro.overlay.topology import two_tier_gnutella
+
+
+def test_strategy_comparison(benchmark, bundle, content):
+    topology = two_tier_gnutella(content.n_peers, ultrapeer_fraction=0.3, seed=23)
+    network = UnstructuredNetwork(topology, content)
+    ring = ChordRing(content.n_peers, seed=23)
+    index = KeywordIndex(ring, content)
+    ultrapeers = np.flatnonzero(topology.forwards)
+
+    def run():
+        strategies = [
+            FloodStrategy(network, ttl=3),
+            ExpandingRingStrategy(network, ttl_schedule=(1, 2, 3)),
+            WalkStrategy(network, walkers=16, ttl=64, seed=23),
+            DhtStrategy(index, intersection="ship-postings"),
+            DhtStrategy(index, intersection="bloom"),
+            HybridStrategy(HybridSearch(network, index, flood_ttl=3)),
+        ]
+        return replay(
+            bundle, strategies, n_queries=60, source_pool=ultrapeers, seed=23
+        )
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print()
+    print(
+        format_table(
+            ["strategy", "queries", "success", "fallback", "mean msgs", "p50", "p95"],
+            [s.as_row() for s in results],
+            title="T-STRAT: identical replay across strategies",
+        )
+    )
+
+    by_name = {s.name: s for s in results}
+    bloom = by_name["DHT (bloom)"]
+    naive = by_name["DHT (ship-postings)"]
+    hybrid = next(s for n, s in by_name.items() if n.startswith("hybrid"))
+    flood = by_name["flood (TTL 3)"]
+    # Identical result sets, cheaper transport.
+    assert bloom.success_rate == naive.success_rate
+    assert bloom.mean_messages <= naive.mean_messages
+    # The hybrid can't beat the DHT's success and pays the flood on top.
+    assert hybrid.success_rate >= flood.success_rate
+    assert hybrid.mean_messages > bloom.mean_messages

@@ -1,0 +1,59 @@
+"""T-DHT — Structured-overlay comparators: Chord vs Pastry vs Kademlia.
+
+The paper's §I cites Pastry [1] and §V assumes a DHT comparator; this
+table verifies the structured substrate behaves like the literature:
+~0.5·log2 N hops for Chord finger routing, ~log16 N for Pastry prefix
+routing, ~0.5·log2 N for Kademlia XOR routing, at several sizes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.reporting import format_table
+from repro.dht.chord import ChordRing
+from repro.dht.kademlia import KademliaNetwork
+from repro.dht.pastry import PastryNetwork
+
+
+def test_structured_overlay_hop_costs(benchmark):
+    sizes = (500, 2_000, 8_000)
+
+    def run():
+        out = {}
+        for n in sizes:
+            chord = ChordRing(n, seed=1).mean_lookup_hops(150, seed=0)
+            pastry = PastryNetwork(n, seed=1).mean_lookup_hops(150, seed=0)
+            kad = KademliaNetwork(n, seed=1).mean_lookup_hops(150, seed=0)
+            out[n] = (chord, pastry, kad)
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    for n, (chord, pastry, kad) in results.items():
+        rows.append(
+            (
+                f"{n:,}",
+                f"{chord:.2f}",
+                f"{pastry:.2f}",
+                f"{kad:.2f}",
+                f"{0.5 * np.log2(n):.2f}",
+                f"{np.log(n) / np.log(16):.2f}",
+            )
+        )
+    print()
+    print(
+        format_table(
+            ["nodes", "Chord", "Pastry", "Kademlia", "0.5*log2 N", "log16 N"],
+            rows,
+            title="T-DHT: structured-overlay lookup hop costs",
+        )
+    )
+
+    for n, (chord, pastry, kad) in results.items():
+        assert chord == np.clip(chord, 0.3 * np.log2(n), 1.2 * np.log2(n))
+        assert kad == np.clip(kad, 0.3 * np.log2(n), 1.2 * np.log2(n))
+        assert pastry < chord  # base-16 routing is shallower
+    # Hop growth is logarithmic: x16 nodes adds only a few hops.
+    assert results[8_000][0] - results[500][0] < 4

@@ -1,0 +1,60 @@
+"""T-VOCAB — Heaps'-law vocabulary growth in queries and file names.
+
+Companion to the §III/§IV measurements (and the authors' PAM'07 trace
+work, ref [16]): the term population keeps growing sub-linearly but
+unboundedly in both the shared-file corpus and the query stream —
+why any static summary keeps falling behind the workload.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.vocabulary import fit_heaps, new_term_rate, vocabulary_growth
+from repro.core.reporting import format_table
+
+
+def test_vocabulary_growth(benchmark, bundle, content):
+    workload = bundle.workload
+
+    def run():
+        # Query-term stream, in time order.
+        q_n, q_v = vocabulary_growth(workload.term_ids)
+        q_fit = fit_heaps(q_n, q_v)
+        # File-name term stream, in instance order.
+        name_terms, _ = content.term_index.expand(bundle.trace.name_ids)
+        f_n, f_v = vocabulary_growth(name_terms)
+        f_fit = fit_heaps(f_n, f_v)
+        # New query terms per day.
+        lengths = np.diff(workload.term_offsets)
+        times = np.repeat(workload.timestamps, lengths)
+        daily_new = new_term_rate(workload.term_ids, times, interval_s=86_400.0)
+        return q_fit, f_fit, daily_new
+
+    q_fit, f_fit, daily_new = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = [
+        ("query stream", f"{q_fit.beta:.3f}", f"{q_fit.r_squared:.3f}"),
+        ("file-name corpus", f"{f_fit.beta:.3f}", f"{f_fit.r_squared:.3f}"),
+    ]
+    print()
+    print(
+        format_table(
+            ["corpus", "Heaps beta", "log-log R^2"],
+            rows,
+            title="T-VOCAB: vocabulary growth",
+        )
+    )
+    print(
+        format_table(
+            ["day", "new query terms"],
+            list(enumerate(daily_new.tolist(), start=1)),
+        )
+    )
+
+    for fit in (q_fit, f_fit):
+        assert 0.1 < fit.beta < 1.0  # sub-linear but unbounded
+        assert fit.r_squared > 0.9
+    # The first day dominates, but later days still bring new terms.
+    assert daily_new[0] > daily_new[-1]
+    assert daily_new[1:].sum() > 0

@@ -1,0 +1,38 @@
+"""Shared fixtures for the benchmark harness.
+
+Every bench regenerates one of the paper's tables or figures (see
+DESIGN.md §4 for the experiment index) and prints the rows/series the
+paper reports.  Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+Expensive inputs are session-scoped; each bench times only its own
+experiment via ``benchmark.pedantic(..., rounds=1)`` because these are
+end-to-end experiment regenerations, not microbenchmarks.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.experiment import TraceBundle, build_trace_bundle
+from repro.overlay.content import SharedContentIndex
+from repro.tracegen import presets
+from repro.tracegen.catalog import MusicCatalog
+from repro.tracegen.itunes_trace import ITunesShareTrace
+
+
+@pytest.fixture(scope="session")
+def bundle() -> TraceBundle:
+    return build_trace_bundle()
+
+
+@pytest.fixture(scope="session")
+def content(bundle: TraceBundle) -> SharedContentIndex:
+    return SharedContentIndex(bundle.trace)
+
+
+@pytest.fixture(scope="session")
+def itunes() -> ITunesShareTrace:
+    catalog = MusicCatalog(presets.CATALOG_ITUNES)
+    return ITunesShareTrace(catalog, presets.ITUNES_DEFAULT)

@@ -1,0 +1,6 @@
+"""Legacy shim: the sandboxed environment has no `wheel` package, so
+PEP-660 editable installs fail; `setup.py develop` does not need it."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,42 @@
+"""repro — reproduction of Acosta & Chandra, *On the need for
+query-centric unstructured peer-to-peer overlays* (IPPS 2008).
+
+Public API layout
+-----------------
+``repro.tracegen``
+    Synthetic Gnutella / iTunes / query traces (the paper's data gates,
+    substituted per DESIGN.md §2).
+``repro.overlay``
+    Gnutella-style unstructured overlay: topologies, flooding, random
+    walks.
+``repro.dht``
+    Chord-style structured overlay with a distributed keyword index.
+``repro.hybrid``
+    Flood-then-DHT hybrid search and its cost model.
+``repro.crawler``
+    Cruiser-style crawls and Phex-style query monitoring over the
+    simulated network.
+``repro.analysis``
+    Tokenization, popularity/replication statistics, Zipf fits,
+    Jaccard timelines, transient-term detection.
+``repro.core``
+    The paper's experiments: flood-success simulation (Fig. 8), TTL
+    reach, hybrid-vs-DHT evaluation, the query/annotation mismatch
+    pipeline (Figs. 5-7) and the adaptive-synopsis extension.
+"""
+
+__version__ = "0.1.0"
+
+from repro import analysis, core, crawler, dht, hybrid, overlay, tracegen, utils
+
+__all__ = [
+    "analysis",
+    "core",
+    "crawler",
+    "dht",
+    "hybrid",
+    "overlay",
+    "tracegen",
+    "utils",
+    "__version__",
+]

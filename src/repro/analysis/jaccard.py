@@ -1,0 +1,47 @@
+"""Jaccard set similarity (paper §IV-B).
+
+The paper compares *sets of terms* — popular query terms across
+intervals (Fig. 6) and query terms vs popular file terms (Fig. 7) —
+with the Jaccard index ``|A ∩ B| / |A ∪ B|``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+__all__ = ["jaccard", "jaccard_timeline", "jaccard_against"]
+
+
+def jaccard(a: set | frozenset, b: set | frozenset) -> float:
+    """Jaccard index of two sets.
+
+    Two empty sets are defined as identical (1.0), matching the
+    convention that an interval with no popular terms is "unchanged".
+    """
+    if not a and not b:
+        return 1.0
+    union = len(a | b)
+    return len(a & b) / union
+
+
+def jaccard_timeline(sets: Sequence[set], *, lag: int = 1) -> np.ndarray:
+    """Jaccard between each set and the set ``lag`` steps earlier.
+
+    ``result[i] = jaccard(sets[i], sets[i - lag])`` for
+    ``i >= lag``; the first ``lag`` entries are ``nan`` (no
+    predecessor) — mirroring the paper's note that the first intervals
+    are unstable before popularity counts are established.
+    """
+    if lag < 1:
+        raise ValueError(f"lag must be >= 1, got {lag}")
+    out = np.full(len(sets), np.nan)
+    for i in range(lag, len(sets)):
+        out[i] = jaccard(sets[i], sets[i - lag])
+    return out
+
+
+def jaccard_against(sets: Sequence[set], reference: set) -> np.ndarray:
+    """Jaccard of each set against one fixed reference set (Fig. 7)."""
+    return np.asarray([jaccard(s, reference) for s in sets])

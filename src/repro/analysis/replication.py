@@ -1,0 +1,79 @@
+"""Replication-ratio statistics — the paper's §III headline numbers.
+
+Given clients-per-object counts over a population of ``n_peers``,
+summarize how (in)sufficiently objects are replicated: singleton
+fraction, the mass of objects below a replication-ratio threshold
+(the paper's "99.5% of objects on < 0.1% of peers"), and the Loo et
+al. rare-object fraction ("< 4% of objects on 20 or more peers").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.stats import fraction_at_least, fraction_at_most
+
+__all__ = ["ReplicationSummary", "summarize_replication", "replication_table"]
+
+
+@dataclass(frozen=True)
+class ReplicationSummary:
+    """Shape statistics of a clients-per-object distribution."""
+
+    n_objects: int
+    n_instances: int
+    n_peers: int
+    singleton_fraction: float
+    mean_replicas: float
+    max_replicas: int
+    #: fraction of objects replicated on fewer than 0.1% of peers.
+    below_0p1pct: float
+    #: fraction of objects on >= 20 peers (Loo et al. "common" objects).
+    at_least_20_peers: float
+
+    def rare_fraction(self) -> float:
+        """Fraction of objects Loo et al. would classify as rare."""
+        return 1.0 - self.at_least_20_peers
+
+
+def summarize_replication(counts: np.ndarray, n_peers: int) -> ReplicationSummary:
+    """Summarize clients-per-object ``counts`` over ``n_peers`` peers.
+
+    ``counts`` may include zero entries (ids never observed); they are
+    dropped, matching the paper's per-observed-object statistics.
+    """
+    counts = np.asarray(counts)
+    counts = counts[counts > 0]
+    if counts.size == 0:
+        raise ValueError("no replicated objects to summarize")
+    if n_peers <= 0:
+        raise ValueError(f"n_peers must be positive, got {n_peers}")
+    threshold_0p1 = 0.001 * n_peers
+    return ReplicationSummary(
+        n_objects=int(counts.size),
+        n_instances=int(counts.sum()),
+        n_peers=n_peers,
+        singleton_fraction=fraction_at_most(counts, 1),
+        mean_replicas=float(counts.mean()),
+        max_replicas=int(counts.max()),
+        below_0p1pct=fraction_at_most(counts, np.floor(threshold_0p1)),
+        at_least_20_peers=fraction_at_least(counts, 20),
+    )
+
+
+def replication_table(counts: np.ndarray, n_peers: int) -> list[tuple[float, float]]:
+    """CDF of objects vs replication-ratio thresholds.
+
+    Returns ``[(ratio, fraction_of_objects_at_or_below), ...]`` for the
+    ratios the paper discusses (0.005% ... 0.5% of peers) — useful for
+    the Gia comparison in §VI.
+    """
+    counts = np.asarray(counts)
+    counts = counts[counts > 0]
+    rows = []
+    for ratio in (0.00005, 0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005):
+        threshold = max(1.0, np.floor(ratio * n_peers))
+        rows.append((ratio, fraction_at_most(counts, threshold)))
+    return rows

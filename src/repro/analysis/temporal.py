@@ -1,0 +1,172 @@
+"""Temporal term-popularity analysis (paper §IV).
+
+Buckets a timestamped term stream into evaluation intervals, extracts
+per-interval popular sets, and flags *transiently popular* terms —
+terms whose count in an interval deviates significantly from their
+historical average (the paper's Fig. 5 definition, including the
+training prefix used to establish history).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.popularity import top_k_set
+
+__all__ = [
+    "IntervalCounts",
+    "interval_term_counts",
+    "popular_sets",
+    "TransientReport",
+    "detect_transient_terms",
+]
+
+
+@dataclass(frozen=True)
+class IntervalCounts:
+    """Per-interval term occurrence counts.
+
+    ``counts[t, v]`` is how many times term ``v`` occurred during
+    interval ``t``.  Dense is fine at trace scale: intervals are
+    O(hundreds) and vocabularies O(thousands).
+    """
+
+    interval_s: float
+    counts: np.ndarray  # (n_intervals, n_terms) int64
+
+    @property
+    def n_intervals(self) -> int:
+        """Number of evaluation intervals."""
+        return self.counts.shape[0]
+
+    @property
+    def n_terms(self) -> int:
+        """Vocabulary size."""
+        return self.counts.shape[1]
+
+    def totals(self) -> np.ndarray:
+        """Whole-trace occurrence count per term."""
+        return self.counts.sum(axis=0)
+
+
+def interval_term_counts(
+    timestamps: np.ndarray,
+    term_offsets: np.ndarray,
+    term_ids: np.ndarray,
+    *,
+    n_terms: int,
+    interval_s: float,
+    duration_s: float | None = None,
+) -> IntervalCounts:
+    """Bucket a CSR term stream into fixed evaluation intervals.
+
+    Each query contributes each of its terms once to its interval.
+    """
+    if interval_s <= 0:
+        raise ValueError(f"interval_s must be positive, got {interval_s}")
+    timestamps = np.asarray(timestamps, dtype=np.float64)
+    if duration_s is None:
+        duration_s = float(timestamps[-1]) + 1e-9 if timestamps.size else interval_s
+    n_intervals = int(np.ceil(duration_s / interval_s))
+    lengths = np.diff(term_offsets)
+    query_interval = np.minimum(
+        (timestamps / interval_s).astype(np.int64), n_intervals - 1
+    )
+    term_interval = np.repeat(query_interval, lengths)
+    flat = term_interval * n_terms + np.asarray(term_ids, dtype=np.int64)
+    counts = np.bincount(flat, minlength=n_intervals * n_terms)
+    return IntervalCounts(interval_s, counts.reshape(n_intervals, n_terms))
+
+
+def popular_sets(intervals: IntervalCounts, *, k: int) -> list[set[int]]:
+    """Per-interval top-``k`` popular term sets (raw-count definition)."""
+    return [top_k_set(intervals.counts[t], k) for t in range(intervals.n_intervals)]
+
+
+def popular_sets_cumulative(intervals: IntervalCounts, *, k: int) -> list[set[int]]:
+    """The paper's Q*_t: observed-this-interval ∩ cumulatively popular.
+
+    A term is *popular at interval t* when it ranks in the top-``k`` of
+    occurrence counts accumulated over ``[0, t]`` — the "established
+    overall popularity counts" of the paper's footnote — and was
+    actually observed during interval ``t``.  Early intervals are noisy
+    (history not yet established), exactly as Fig. 6 shows, then the
+    sets stabilize to >90% consecutive-interval Jaccard.
+    """
+    cum = np.cumsum(intervals.counts, axis=0)
+    out: list[set[int]] = []
+    for t in range(intervals.n_intervals):
+        established = top_k_set(cum[t], k)
+        observed = np.flatnonzero(intervals.counts[t] > 0)
+        out.append(established.intersection(int(i) for i in observed))
+    return out
+
+
+@dataclass(frozen=True)
+class TransientReport:
+    """Output of :func:`detect_transient_terms`.
+
+    ``per_interval`` holds, for each *evaluation* interval (those after
+    the training prefix), the set of terms flagged transiently popular;
+    ``counts`` is the Fig. 5 series ``len(per_interval[t])``.
+    """
+
+    first_eval_interval: int
+    per_interval: list[set[int]]
+
+    @property
+    def counts(self) -> np.ndarray:
+        """Number of transient terms per evaluation interval."""
+        return np.asarray([len(s) for s in self.per_interval])
+
+    def mean(self) -> float:
+        """Mean transient terms per interval."""
+        return float(self.counts.mean()) if self.per_interval else 0.0
+
+    def variance(self) -> float:
+        """Variance of transient terms per interval."""
+        return float(self.counts.var()) if self.per_interval else 0.0
+
+    def all_flagged(self) -> set[int]:
+        """Union of every interval's transient set."""
+        out: set[int] = set()
+        for s in self.per_interval:
+            out |= s
+        return out
+
+
+def detect_transient_terms(
+    intervals: IntervalCounts,
+    *,
+    train_fraction: float = 0.1,
+    z_threshold: float = 6.0,
+    min_count: int = 5,
+) -> TransientReport:
+    """Flag terms deviating sharply from their historical rate.
+
+    Following the paper §IV-A: the first ``train_fraction`` of the
+    trace establishes each term's historical occurrence rate; at every
+    later interval, a term is *transiently popular* when its count
+    exceeds the historical per-interval mean by ``z_threshold``
+    standard deviations (Poisson noise model: sd = sqrt(mean), with a
+    +1 floor so never-seen terms need ``min_count`` hits to fire).
+    History is updated cumulatively as intervals are consumed, exactly
+    as an online monitor would.
+    """
+    if not 0.0 < train_fraction < 1.0:
+        raise ValueError("train_fraction must be in (0, 1)")
+    if min_count < 1:
+        raise ValueError("min_count must be at least 1")
+    counts = intervals.counts
+    n_intervals = intervals.n_intervals
+    first_eval = max(1, int(np.ceil(train_fraction * n_intervals)))
+    cum = np.cumsum(counts, axis=0)
+    per_interval: list[set[int]] = []
+    for t in range(first_eval, n_intervals):
+        hist_mean = cum[t - 1] / t  # per-interval rate over [0, t)
+        sd = np.sqrt(hist_mean + 1.0)
+        flagged = (counts[t] > hist_mean + z_threshold * sd) & (counts[t] >= min_count)
+        per_interval.append({int(i) for i in np.flatnonzero(flagged)})
+    return TransientReport(first_eval, per_interval)

@@ -1,0 +1,66 @@
+"""Descriptive query-workload statistics (measurement-paper staples).
+
+The §IV analyses need context statistics every trace study reports:
+query arrival rates over time, terms-per-query distribution, and the
+rank-frequency concentration of query terms.  Collected here so the
+benches and examples can print a workload fact sheet.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.tracegen.query_trace import QueryWorkload
+from repro.utils.zipf import fit_exponent_mle
+
+__all__ = ["WorkloadSummary", "summarize_workload", "queries_per_interval"]
+
+
+@dataclass(frozen=True)
+class WorkloadSummary:
+    """Fact sheet of one query workload."""
+
+    n_queries: int
+    duration_s: float
+    mean_rate_per_hour: float
+    peak_rate_per_hour: float
+    terms_per_query_mean: float
+    terms_per_query_hist: np.ndarray  # index i = count of queries with i terms
+    distinct_terms: int
+    #: share of all term occurrences from the 10 most common terms.
+    top10_term_share: float
+    query_term_zipf_exponent: float
+
+
+def queries_per_interval(
+    workload: QueryWorkload, *, interval_s: float = 3_600.0
+) -> np.ndarray:
+    """Query arrival counts per interval."""
+    if interval_s <= 0:
+        raise ValueError("interval_s must be positive")
+    n = int(np.ceil(workload.config.duration_s / interval_s))
+    bins = np.minimum((workload.timestamps / interval_s).astype(np.int64), n - 1)
+    return np.bincount(bins, minlength=n)
+
+
+def summarize_workload(workload: QueryWorkload) -> WorkloadSummary:
+    """Compute the fact sheet."""
+    lengths = np.diff(workload.term_offsets)
+    rates = queries_per_interval(workload, interval_s=3_600.0)
+    counts = np.bincount(workload.term_ids, minlength=workload.config.vocab_size)
+    live = counts[counts > 0]
+    order = np.sort(live)[::-1]
+    top10 = float(order[:10].sum() / order.sum())
+    return WorkloadSummary(
+        n_queries=workload.n_queries,
+        duration_s=workload.config.duration_s,
+        mean_rate_per_hour=float(rates.mean()),
+        peak_rate_per_hour=float(rates.max()),
+        terms_per_query_mean=float(lengths.mean()),
+        terms_per_query_hist=np.bincount(lengths),
+        distinct_terms=int(live.size),
+        top10_term_share=top10,
+        query_term_zipf_exponent=float(fit_exponent_mle(live)),
+    )

@@ -1,0 +1,378 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Thin argparse dispatch onto the experiment functions, so a downstream
+user can regenerate any paper artifact without writing code::
+
+    python -m repro gen-trace --out trace.npz
+    python -m repro analyze trace.npz
+    python -m repro fig 8
+    python -m repro reach
+    python -m repro hybrid
+    python -m repro mismatch
+    python -m repro synopsis
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'On the need for query-centric unstructured "
+            "peer-to-peer overlays' (Acosta & Chandra, IPPS 2008)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("gen-trace", help="generate and save a Gnutella share trace")
+    gen.add_argument("--out", required=True, help="output .npz path")
+    gen.add_argument("--peers", type=int, default=None, help="number of peers")
+    gen.add_argument("--seed", type=int, default=0)
+
+    analyze = sub.add_parser("analyze", help="replication statistics of a saved trace")
+    analyze.add_argument("trace", help="path to a trace saved by gen-trace")
+
+    fig = sub.add_parser("fig", help="regenerate a paper figure")
+    fig.add_argument("number", type=int, choices=(1, 2, 3, 4, 5, 6, 7, 8))
+    fig.add_argument("--seed", type=int, default=0)
+
+    sub.add_parser("reach", help="the §V TTL reach table (T-REACH)")
+    sub.add_parser("hybrid", help="the §V hybrid-vs-DHT table (T-HYBRID)")
+    sub.add_parser("mismatch", help="the §IV mismatch headline values (Figs. 5-7)")
+    sub.add_parser("synopsis", help="the §VII adaptive-synopsis experiment (X-SYN)")
+    sub.add_parser("resolvability", help="oracle query resolvability (T-RESOLV)")
+    sub.add_parser("workload", help="query-workload fact sheet")
+    sub.add_parser("calibrate", help="calibration certificates for both traces")
+    sub.add_parser("report", help="run everything; verdict on every headline claim")
+
+    export = sub.add_parser(
+        "export", help="run the main experiments and write CSVs + manifest"
+    )
+    export.add_argument("--out", required=True, help="output directory")
+    export.add_argument("--seed", type=int, default=0)
+    export.add_argument(
+        "--full", action="store_true", help="full Monte-Carlo sample counts"
+    )
+    return parser
+
+
+def _cmd_gen_trace(args: argparse.Namespace) -> int:
+    from repro.tracegen.catalog import MusicCatalog
+    from repro.tracegen.gnutella_trace import GnutellaShareTrace, GnutellaTraceConfig
+    from repro.tracegen.io import save_trace
+
+    catalog = MusicCatalog()
+    kwargs = {"seed": args.seed}
+    if args.peers is not None:
+        kwargs["n_peers"] = args.peers
+    trace = GnutellaShareTrace(catalog, GnutellaTraceConfig(**kwargs))
+    save_trace(trace, args.out)
+    print(
+        f"wrote {args.out}: {trace.n_peers:,} peers, "
+        f"{trace.n_instances:,} instances, {trace.n_unique_names:,} unique names"
+    )
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.analysis.replication import summarize_replication
+    from repro.analysis.zipf_fit import fit_zipf
+    from repro.core.reporting import format_percent, format_table
+    from repro.tracegen.io import load_trace
+
+    trace = load_trace(args.trace)
+    counts = trace.replica_counts()
+    s = summarize_replication(counts, trace.n_peers)
+    fit = fit_zipf(counts[counts > 0])
+    print(
+        format_table(
+            ["metric", "value"],
+            [
+                ("peers", f"{s.n_peers:,}"),
+                ("instances", f"{s.n_instances:,}"),
+                ("unique names", f"{s.n_objects:,}"),
+                ("singleton fraction", format_percent(s.singleton_fraction)),
+                ("mean replicas", f"{s.mean_replicas:.2f}"),
+                ("objects on >= 20 peers", format_percent(s.at_least_20_peers)),
+                ("Zipf exponent", f"{fit.exponent:.2f}"),
+            ],
+            title=f"Replication analysis of {args.trace}",
+        )
+    )
+    return 0
+
+
+def _cmd_fig(args: argparse.Namespace) -> int:
+    from repro.core.reporting import format_percent, format_table
+
+    n = args.number
+    if n in (1, 2, 3):
+        from repro.analysis.replication import summarize_replication
+        from repro.core.experiment import build_trace_bundle
+        from repro.overlay.content import SharedContentIndex
+
+        bundle = build_trace_bundle()
+        if n == 1:
+            counts = bundle.trace.replica_counts()
+            s = summarize_replication(counts, bundle.trace.n_peers)
+            print(
+                format_table(
+                    ["metric", "value"],
+                    [
+                        ("unique names", f"{s.n_objects:,}"),
+                        ("singleton fraction", format_percent(s.singleton_fraction)),
+                        ("mean replicas", f"{s.mean_replicas:.2f}"),
+                    ],
+                    title="FIG1: Gnutella object replicas",
+                )
+            )
+        elif n == 2:
+            from repro.analysis.tokenize import sanitize_name
+
+            names = bundle.trace.unique_names()
+            sanitized = {sanitize_name(x) for x in names}
+            print(
+                f"FIG2: {len(names):,} raw uniques -> {len(sanitized):,} sanitized "
+                f"({format_percent(1 - len(sanitized) / len(names))} recovered)"
+            )
+        else:
+            content = SharedContentIndex(bundle.trace)
+            counts = content.term_peer_counts()
+            counts = counts[counts > 0]
+            print(
+                f"FIG3: {counts.size:,} unique terms, "
+                f"{format_percent(float(np.mean(counts == 1)))} single-peer"
+            )
+        return 0
+    if n == 4:
+        from repro.tracegen import presets
+        from repro.tracegen.catalog import MusicCatalog
+        from repro.tracegen.itunes_trace import ITunesShareTrace
+
+        itunes = ITunesShareTrace(
+            MusicCatalog(presets.CATALOG_ITUNES), presets.ITUNES_DEFAULT
+        )
+        rows = []
+        for field, values in (
+            ("song", itunes.song_ids),
+            ("genre", itunes.genre_ids),
+            ("album", itunes.album_ids),
+            ("artist", itunes.artist_ids),
+        ):
+            counts = itunes.clients_per_value(values)
+            counts = counts[counts > 0]
+            rows.append(
+                (field, f"{counts.size:,}", format_percent(float(np.mean(counts == 1))))
+            )
+        print(format_table(["field", "uniques", "single-client"], rows, title="FIG4"))
+        return 0
+    if n in (5, 6, 7):
+        return _cmd_mismatch(args)
+    # n == 8
+    from repro.core.flood_sim import FloodSimConfig, run_fig8
+
+    result = run_fig8(FloodSimConfig(n_eval_objects=80, seed=args.seed))
+    headers = ["TTL"] + [c.label for c in result.curves]
+    rows = []
+    for i, ttl in enumerate(result.curves[0].ttls):
+        rows.append([ttl] + [f"{c.success[i]:.4f}" for c in result.curves])
+    print(format_table(headers, rows, title="FIG8: flood success rate"))
+    return 0
+
+
+def _cmd_reach(args: argparse.Namespace) -> int:
+    from repro.core.reach import PAPER_REACH, ReachConfig, measure_reach
+    from repro.core.reporting import format_percent, format_table
+
+    result = measure_reach(ReachConfig(n_sources=40))
+    rows = [
+        (
+            ttl,
+            format_percent(frac),
+            f"{nodes:,.0f}",
+            format_percent(PAPER_REACH[ttl]) if ttl in PAPER_REACH else "-",
+        )
+        for ttl, frac, nodes in result.as_rows()
+    ]
+    print(format_table(["TTL", "reach", "nodes", "paper"], rows, title="T-REACH"))
+    return 0
+
+
+def _cmd_hybrid(args: argparse.Namespace) -> int:
+    from repro.core.hybrid_eval import HybridEvalConfig, evaluate_hybrid
+    from repro.core.reporting import format_table
+
+    result = evaluate_hybrid(HybridEvalConfig(n_eval_objects=80))
+    print(format_table(["metric", "value"], result.as_rows(), title="T-HYBRID"))
+    return 0
+
+
+def _cmd_mismatch(args: argparse.Namespace) -> int:
+    from repro.core.mismatch import run_mismatch_analysis
+    from repro.core.reporting import format_percent, format_table
+
+    report = run_mismatch_analysis()
+    rows = [
+        ("popular-set stability (FIG6)", format_percent(report.stability_after_warmup)),
+        ("max query/file similarity (FIG7)", format_percent(report.max_file_similarity)),
+        ("overall query/file similarity", format_percent(report.overall_similarity)),
+    ]
+    for s, c in sorted(report.transient_counts.items()):
+        rows.append((f"mean transients @ {s / 60:.0f} min (FIG5)", f"{c.mean():.2f}"))
+    print(format_table(["metric", "value"], rows, title="§IV mismatch analysis"))
+    return 0
+
+
+def _cmd_synopsis(args: argparse.Namespace) -> int:
+    from repro.core.reporting import format_percent, format_table
+    from repro.core.synopsis import SynopsisConfig, run_synopsis_experiment
+
+    result = run_synopsis_experiment(config=SynopsisConfig())
+    rows = [
+        (
+            o.policy,
+            format_percent(o.success_rate),
+            format_percent(o.success_transient),
+            f"{o.mean_messages:.0f}",
+        )
+        for o in result.outcomes
+    ]
+    print(
+        format_table(
+            ["policy", "success", "transient success", "msgs"], rows, title="X-SYN"
+        )
+    )
+    return 0
+
+
+def _cmd_resolvability(args: argparse.Namespace) -> int:
+    from repro.analysis.resolvability import measure_resolvability
+    from repro.core.experiment import build_trace_bundle
+    from repro.core.reporting import format_percent, format_table
+    from repro.overlay.content import SharedContentIndex
+
+    bundle = build_trace_bundle()
+    content = SharedContentIndex(bundle.trace)
+    report = measure_resolvability(bundle.workload, content, n_samples=1_000)
+    print(
+        format_table(
+            ["metric", "value"],
+            [
+                ("unresolvable queries", format_percent(report.unresolvable_fraction)),
+                ("rare queries (Loo et al.)", format_percent(report.rare_fraction)),
+                ("median available results", f"{report.median_results:.0f}"),
+            ],
+            title="T-RESOLV",
+        )
+    )
+    return 0
+
+
+def _cmd_workload(args: argparse.Namespace) -> int:
+    from repro.analysis.workload_stats import summarize_workload
+    from repro.core.experiment import build_trace_bundle
+    from repro.core.reporting import format_percent, format_table
+
+    bundle = build_trace_bundle()
+    s = summarize_workload(bundle.workload)
+    hist = ", ".join(
+        f"{i}:{c:,}" for i, c in enumerate(s.terms_per_query_hist) if c
+    )
+    print(
+        format_table(
+            ["metric", "value"],
+            [
+                ("queries", f"{s.n_queries:,}"),
+                ("duration", f"{s.duration_s / 86_400:.1f} days"),
+                ("mean rate", f"{s.mean_rate_per_hour:,.0f} queries/hour"),
+                ("peak rate", f"{s.peak_rate_per_hour:,.0f} queries/hour"),
+                ("terms per query", f"{s.terms_per_query_mean:.2f} (hist {hist})"),
+                ("distinct terms", f"{s.distinct_terms:,}"),
+                ("top-10 term share", format_percent(s.top10_term_share)),
+                ("term Zipf exponent", f"{s.query_term_zipf_exponent:.2f}"),
+            ],
+            title="Query-workload fact sheet",
+        )
+    )
+    return 0
+
+
+def _cmd_calibrate(args: argparse.Namespace) -> int:
+    from repro.analysis.validation import check_gnutella_trace, check_itunes_trace
+    from repro.core.experiment import build_trace_bundle
+    from repro.core.reporting import format_table
+    from repro.tracegen import presets
+    from repro.tracegen.catalog import MusicCatalog
+    from repro.tracegen.itunes_trace import ITunesShareTrace
+
+    bundle = build_trace_bundle()
+    gnutella = check_gnutella_trace(bundle.trace)
+    itunes = check_itunes_trace(
+        ITunesShareTrace(MusicCatalog(presets.CATALOG_ITUNES), presets.ITUNES_DEFAULT)
+    )
+    headers = ["target", "paper", "measured", "band", "status"]
+    print(
+        format_table(
+            headers,
+            [c.as_row() for c in gnutella],
+            title="Gnutella trace calibration (§III-A)",
+        )
+    )
+    print()
+    print(
+        format_table(
+            headers, [c.as_row() for c in itunes], title="iTunes trace calibration (Fig. 4)"
+        )
+    )
+    return 0 if all(c.passed for c in gnutella + itunes) else 1
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.core.paper_report import build_report, render_report
+
+    claims = build_report()
+    print(render_report(claims))
+    return 0 if all(c.holds for c in claims) else 1
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    from repro.core.export import export_all
+
+    manifest = export_all(args.out, seed=args.seed, quick=not args.full)
+    print(f"wrote {args.out}/manifest.json plus {len(manifest)} headline values")
+    return 0
+
+
+_COMMANDS = {
+    "gen-trace": _cmd_gen_trace,
+    "export": _cmd_export,
+    "report": _cmd_report,
+    "analyze": _cmd_analyze,
+    "fig": _cmd_fig,
+    "reach": _cmd_reach,
+    "hybrid": _cmd_hybrid,
+    "mismatch": _cmd_mismatch,
+    "synopsis": _cmd_synopsis,
+    "resolvability": _cmd_resolvability,
+    "workload": _cmd_workload,
+    "calibrate": _cmd_calibrate,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,116 @@
+"""Terminal plotting: log-log scatter and line charts in ASCII.
+
+The paper's figures are log-log popularity plots and time series; the
+benches print tables, but a shape is easier to eyeball as a picture.
+No plotting dependency is available offline, so this renders charts
+into character grids — enough to see a Zipf tail or a success-curve
+crossover directly in the terminal.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["scatter_loglog", "line_chart"]
+
+
+def _render(grid: list[list[str]]) -> str:
+    return "\n".join("".join(row) for row in grid)
+
+
+def scatter_loglog(
+    x: np.ndarray,
+    y: np.ndarray,
+    *,
+    width: int = 64,
+    height: int = 18,
+    title: str | None = None,
+    marker: str = "*",
+) -> str:
+    """Log-log scatter plot as text.
+
+    Points with non-positive coordinates are dropped (log scale).
+    """
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.shape != y.shape:
+        raise ValueError("x and y must be aligned")
+    keep = (x > 0) & (y > 0)
+    x, y = x[keep], y[keep]
+    if x.size == 0:
+        raise ValueError("nothing to plot on log axes")
+    if width < 8 or height < 4:
+        raise ValueError("plot area too small")
+    lx, ly = np.log10(x), np.log10(y)
+    x0, x1 = float(lx.min()), float(lx.max())
+    y0, y1 = float(ly.min()), float(ly.max())
+    xspan = max(x1 - x0, 1e-12)
+    yspan = max(y1 - y0, 1e-12)
+    grid = [[" "] * width for _ in range(height)]
+    cols = np.minimum(((lx - x0) / xspan * (width - 1)).astype(int), width - 1)
+    rows = np.minimum(((ly - y0) / yspan * (height - 1)).astype(int), height - 1)
+    for c, r in zip(cols, rows):
+        grid[height - 1 - r][c] = marker
+    lines = []
+    if title:
+        lines.append(title)
+    for i, row in enumerate(grid):
+        label = ""
+        if i == 0:
+            label = f"1e{y1:+.1f}"
+        elif i == height - 1:
+            label = f"1e{y0:+.1f}"
+        lines.append(f"{label:>8s} |" + "".join(row))
+    lines.append(" " * 9 + "+" + "-" * width)
+    lines.append(f"{'':9s} 1e{x0:+.1f}" + " " * max(0, width - 16) + f"1e{x1:+.1f}")
+    return "\n".join(lines)
+
+
+def line_chart(
+    series: dict[str, tuple[np.ndarray, np.ndarray]],
+    *,
+    width: int = 64,
+    height: int = 16,
+    title: str | None = None,
+) -> str:
+    """Multi-series line chart on linear axes.
+
+    ``series`` maps labels to ``(x, y)`` arrays; each series gets a
+    distinct marker and the legend maps markers back to labels.
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    if width < 8 or height < 4:
+        raise ValueError("plot area too small")
+    markers = "*o+x#@%&"
+    all_x = np.concatenate([np.asarray(x, dtype=float) for x, _ in series.values()])
+    all_y = np.concatenate([np.asarray(y, dtype=float) for _, y in series.values()])
+    x0, x1 = float(np.nanmin(all_x)), float(np.nanmax(all_x))
+    y0, y1 = float(np.nanmin(all_y)), float(np.nanmax(all_y))
+    xspan = max(x1 - x0, 1e-12)
+    yspan = max(y1 - y0, 1e-12)
+    grid = [[" "] * width for _ in range(height)]
+    legend = []
+    for (label, (x, y)), marker in zip(series.items(), markers):
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y, dtype=float)
+        keep = ~(np.isnan(x) | np.isnan(y))
+        cols = np.minimum(((x[keep] - x0) / xspan * (width - 1)).astype(int), width - 1)
+        rows = np.minimum(((y[keep] - y0) / yspan * (height - 1)).astype(int), height - 1)
+        for c, r in zip(cols, rows):
+            grid[height - 1 - r][c] = marker
+        legend.append(f"{marker} = {label}")
+    lines = []
+    if title:
+        lines.append(title)
+    for i, row in enumerate(grid):
+        label = ""
+        if i == 0:
+            label = f"{y1:.3g}"
+        elif i == height - 1:
+            label = f"{y0:.3g}"
+        lines.append(f"{label:>8s} |" + "".join(row))
+    lines.append(" " * 9 + "+" + "-" * width)
+    lines.append(f"{'':9s} {x0:<10.3g}" + " " * max(0, width - 22) + f"{x1:>10.3g}")
+    lines.append("  " + "   ".join(legend))
+    return "\n".join(lines)

@@ -1,0 +1,44 @@
+"""Plain-text table/series rendering for benches and examples."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+__all__ = ["format_table", "format_series", "format_percent"]
+
+
+def format_percent(x: float, digits: int = 2) -> str:
+    """``0.0532`` -> ``"5.32%"``."""
+    return f"{100.0 * x:.{digits}f}%"
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence], *, title: str | None = None
+) -> str:
+    """Render an aligned monospace table."""
+    str_rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    x: Sequence, y: Sequence[float], *, x_label: str = "x", y_label: str = "y",
+    y_format: str = "{:.4f}", title: str | None = None
+) -> str:
+    """Render an (x, y) series as a two-column table."""
+    rows = [(xi, y_format.format(float(yi))) for xi, yi in zip(x, y)]
+    return format_table([x_label, y_label], rows, title=title)

@@ -1,0 +1,14 @@
+"""Measurement-methodology simulators: crawls and passive query monitoring."""
+
+from repro.crawler.file_crawl import FileCrawlResult, crawl_files
+from repro.crawler.query_monitor import MonitoredTrace, monitor_queries
+from repro.crawler.topology_crawl import TopologyCrawlResult, crawl_topology
+
+__all__ = [
+    "FileCrawlResult",
+    "crawl_files",
+    "MonitoredTrace",
+    "monitor_queries",
+    "TopologyCrawlResult",
+    "crawl_topology",
+]

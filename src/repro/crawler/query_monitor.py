@@ -1,0 +1,79 @@
+"""Phex-style passive query monitor (paper §II-A).
+
+The paper captured its query trace by running a modified Gnutella
+client that logged every query passing through it.  In the simulation,
+a monitor node observes exactly those queries whose TTL-scoped flood
+reaches it; because flooding reach is symmetric on an undirected
+topology, a query from source ``s`` with TTL ``t`` passes the monitor
+iff ``s`` lies within the monitor's radius-``t`` ball — one BFS
+precomputes the whole observability map.
+
+The monitor therefore sees a *biased sample* of the true workload
+(overlay-position bias), which is the methodological caveat the tests
+quantify: term popularity *ranks* survive the sampling even though raw
+counts do not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.overlay.flooding import flood_depths
+from repro.overlay.topology import Topology
+from repro.tracegen.query_trace import QueryWorkload
+from repro.utils.rng import make_rng
+
+__all__ = ["MonitoredTrace", "monitor_queries"]
+
+
+@dataclass(frozen=True)
+class MonitoredTrace:
+    """Queries the monitor logged, as indexes into the workload."""
+
+    monitor: int
+    ttl: int
+    observed: np.ndarray  # indexes of observed queries
+    sources: np.ndarray  # per-query source node (whole workload)
+
+    @property
+    def capture_rate(self) -> float:
+        """Fraction of the workload the monitor saw."""
+        return self.observed.size / max(1, self.sources.size)
+
+    def observed_term_counts(self, workload: QueryWorkload) -> np.ndarray:
+        """Occurrence counts per vocab rank over observed queries only."""
+        counts = np.zeros(workload.config.vocab_size, dtype=np.int64)
+        for qi in self.observed:
+            np.add.at(counts, workload.query_terms(int(qi)), 1)
+        return counts
+
+
+def monitor_queries(
+    topology: Topology,
+    workload: QueryWorkload,
+    *,
+    monitor: int = 0,
+    ttl: int = 4,
+    seed: int | np.random.Generator = 0,
+) -> MonitoredTrace:
+    """Assign sources to queries and log those reaching the monitor.
+
+    Sources are uniform over forwarding nodes (leaves hand queries to
+    their ultrapeers, so the flooding origin is effectively an
+    ultrapeer — consistent with how the reach calibration sources
+    floods).
+    """
+    if ttl < 0:
+        raise ValueError("ttl must be non-negative")
+    rng = seed if isinstance(seed, np.random.Generator) else make_rng(seed)
+    forwarding = np.flatnonzero(topology.forwards)
+    if forwarding.size == 0:
+        raise ValueError("topology has no forwarding nodes")
+    sources = forwarding[rng.integers(0, forwarding.size, size=workload.n_queries)]
+    # Observability ball: sources whose flood reaches the monitor.
+    depth, _ = flood_depths(topology, monitor, ttl)
+    observable = depth >= 0
+    observed = np.flatnonzero(observable[sources])
+    return MonitoredTrace(monitor=monitor, ttl=ttl, observed=observed, sources=sources)

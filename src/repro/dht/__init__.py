@@ -1,0 +1,33 @@
+"""Chord-style structured overlay with a distributed keyword index."""
+
+from repro.dht.chord import ChordRing, LookupResult
+from repro.dht.hashing import RING_BITS, RING_SIZE, hash_key, hash_keys, ring_distance
+from repro.dht.kademlia import KademliaLookup, KademliaNetwork
+from repro.dht.keyword_index import DhtQueryResult, KeywordIndex
+from repro.dht.maintenance import (
+    MaintenanceRates,
+    chord_maintenance,
+    churn_event_rate,
+    unstructured_maintenance,
+)
+from repro.dht.pastry import PastryLookup, PastryNetwork
+
+__all__ = [
+    "ChordRing",
+    "LookupResult",
+    "RING_BITS",
+    "RING_SIZE",
+    "hash_key",
+    "hash_keys",
+    "ring_distance",
+    "DhtQueryResult",
+    "KademliaLookup",
+    "KademliaNetwork",
+    "KeywordIndex",
+    "MaintenanceRates",
+    "chord_maintenance",
+    "churn_event_rate",
+    "unstructured_maintenance",
+    "PastryLookup",
+    "PastryNetwork",
+]

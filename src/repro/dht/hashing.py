@@ -1,0 +1,35 @@
+"""Consistent hashing for the structured overlay.
+
+Keys and node identifiers live on a ``2**m`` ring (m = 64 here; Chord
+used SHA-1's 160 bits, but 64 bits keeps ids in native integers with
+collision probability negligible at simulation scale).  String keys
+hash via SHA-1 truncated to 64 bits, so key placement is stable across
+processes and platforms.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+__all__ = ["RING_BITS", "RING_SIZE", "hash_key", "hash_keys", "ring_distance"]
+
+RING_BITS = 64
+RING_SIZE = 1 << RING_BITS
+
+
+def hash_key(key: str | bytes) -> int:
+    """Map a key to a ring position (SHA-1, truncated to 64 bits)."""
+    data = key.encode("utf-8") if isinstance(key, str) else key
+    return int.from_bytes(hashlib.sha1(data).digest()[:8], "big")
+
+
+def hash_keys(keys: list[str]) -> np.ndarray:
+    """Vectorized edge: hash many keys into a ``uint64`` array."""
+    return np.fromiter((hash_key(k) for k in keys), dtype=np.uint64, count=len(keys))
+
+
+def ring_distance(a: int, b: int) -> int:
+    """Clockwise distance from ``a`` to ``b`` on the ring."""
+    return (b - a) % RING_SIZE

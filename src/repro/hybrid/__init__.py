@@ -1,0 +1,17 @@
+"""Hybrid flood-then-DHT search and its message-cost model."""
+
+from repro.hybrid.cost_model import StrategyStats, aggregate, predicted_uniform_success
+from repro.hybrid.selection import MethodSelector, SelectionStats, SelectorConfig
+from repro.hybrid.search import RARE_RESULT_THRESHOLD, HybridOutcome, HybridSearch
+
+__all__ = [
+    "StrategyStats",
+    "aggregate",
+    "predicted_uniform_success",
+    "MethodSelector",
+    "SelectionStats",
+    "SelectorConfig",
+    "RARE_RESULT_THRESHOLD",
+    "HybridOutcome",
+    "HybridSearch",
+]

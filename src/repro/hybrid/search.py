@@ -1,0 +1,87 @@
+"""Hybrid flood-then-DHT search (Loo et al. [5], the paper's §V target).
+
+The hybrid strategy floods with a small TTL to catch popular content
+cheaply, and falls back to the structured keyword index when the flood
+returns too few results.  Loo et al. classify a query as *rare* when
+it returns fewer than 20 results; the paper's position is that, under
+the real (Zipf, mismatched) workload, almost every query takes the
+expensive flood *and* the DHT lookup — making the hybrid strictly
+worse than the DHT alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dht.keyword_index import KeywordIndex
+from repro.overlay.network import SearchOutcome, UnstructuredNetwork
+
+__all__ = ["HybridOutcome", "HybridSearch", "RARE_RESULT_THRESHOLD"]
+
+#: Loo et al.: a query with fewer results than this is "rare".
+RARE_RESULT_THRESHOLD = 20
+
+
+@dataclass(frozen=True)
+class HybridOutcome:
+    """One hybrid query: flood phase plus optional DHT fallback."""
+
+    flood: SearchOutcome
+    fell_back: bool
+    dht_hits: np.ndarray | None
+    dht_messages: int
+
+    @property
+    def n_results(self) -> int:
+        """Results returned to the user (flood phase, or DHT when used)."""
+        if self.fell_back and self.dht_hits is not None:
+            return int(self.dht_hits.size)
+        return self.flood.n_results
+
+    @property
+    def succeeded(self) -> bool:
+        """Did the user get at least one result?"""
+        return self.n_results > 0
+
+    @property
+    def messages(self) -> int:
+        """Total message cost across both phases."""
+        return self.flood.messages + self.dht_messages
+
+
+class HybridSearch:
+    """Flood with a small TTL, escalate rare queries to the DHT."""
+
+    def __init__(
+        self,
+        network: UnstructuredNetwork,
+        index: KeywordIndex,
+        *,
+        flood_ttl: int = 3,
+        rare_threshold: int = RARE_RESULT_THRESHOLD,
+    ) -> None:
+        if flood_ttl < 0:
+            raise ValueError("flood_ttl must be non-negative")
+        if rare_threshold < 1:
+            raise ValueError("rare_threshold must be positive")
+        self.network = network
+        self.index = index
+        self.flood_ttl = flood_ttl
+        self.rare_threshold = rare_threshold
+
+    def query(self, source: int, terms: list[str]) -> HybridOutcome:
+        """Run one hybrid query from ``source``."""
+        flood = self.network.query_flood(source, terms, self.flood_ttl)
+        if flood.n_results >= self.rare_threshold:
+            return HybridOutcome(
+                flood=flood, fell_back=False, dht_hits=None, dht_messages=0
+            )
+        dht = self.index.query(terms, source % self.index.ring.n_nodes)
+        return HybridOutcome(
+            flood=flood,
+            fell_back=True,
+            dht_hits=dht.hit_instances,
+            dht_messages=dht.messages,
+        )

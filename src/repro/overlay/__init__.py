@@ -1,0 +1,101 @@
+"""Gnutella-style unstructured overlay: topologies, flooding, walks, search."""
+
+from repro.overlay.advertisement import (
+    AdReport,
+    AdStore,
+    AdvertisementConfig,
+    simulate_advertisement,
+)
+from repro.overlay.bandwidth import DEFAULT_WIRE, WireModel
+from repro.overlay.churn import ChurnConfig, ChurnTimeline, crawl_snapshot
+from repro.overlay.content import SharedContentIndex
+from repro.overlay.expanding_ring import ExpandingRingResult, expanding_ring_search
+from repro.overlay.gia import (
+    GIA_CAPACITY_LEVELS,
+    GiaSearchResult,
+    gia_search,
+    gia_success_rate,
+    gia_topology,
+    sample_capacities,
+)
+from repro.overlay.flooding import FloodResult, flood, flood_depths, reach_fractions
+from repro.overlay.messages import Guid, QueryHit, QueryMessage, guid_factory
+from repro.overlay.network import SearchOutcome, UnstructuredNetwork
+from repro.overlay.protocol import GnutellaSession, ProtocolConfig
+from repro.overlay.qrp import QrpFloodResult, QrpTables, qrp_flood
+from repro.overlay.random_walk import WalkResult, random_walk
+from repro.overlay.result_cache import (
+    CacheConfig,
+    CacheReport,
+    QueryResultCache,
+    simulate_cache,
+)
+from repro.overlay.semantic_cluster import (
+    library_similarity_topk,
+    neighborhood_hit_rate,
+    semantic_rewire,
+)
+from repro.overlay.shortcuts import (
+    ShortcutConfig,
+    ShortcutList,
+    ShortcutReport,
+    simulate_shortcuts,
+)
+from repro.overlay.replication import POLICIES, allocate_replicas, expected_search_size
+from repro.overlay.topology import Topology, flat_random, from_networkx, two_tier_gnutella
+
+__all__ = [
+    "DEFAULT_WIRE",
+    "WireModel",
+    "AdReport",
+    "AdStore",
+    "AdvertisementConfig",
+    "simulate_advertisement",
+    "ChurnConfig",
+    "ChurnTimeline",
+    "crawl_snapshot",
+    "SharedContentIndex",
+    "ExpandingRingResult",
+    "expanding_ring_search",
+    "GIA_CAPACITY_LEVELS",
+    "GiaSearchResult",
+    "gia_search",
+    "gia_success_rate",
+    "gia_topology",
+    "sample_capacities",
+    "QrpFloodResult",
+    "QrpTables",
+    "qrp_flood",
+    "GnutellaSession",
+    "ProtocolConfig",
+    "CacheConfig",
+    "CacheReport",
+    "QueryResultCache",
+    "simulate_cache",
+    "library_similarity_topk",
+    "neighborhood_hit_rate",
+    "semantic_rewire",
+    "ShortcutConfig",
+    "ShortcutList",
+    "ShortcutReport",
+    "simulate_shortcuts",
+    "POLICIES",
+    "allocate_replicas",
+    "expected_search_size",
+    "FloodResult",
+    "flood",
+    "flood_depths",
+    "reach_fractions",
+    "Guid",
+    "QueryHit",
+    "QueryMessage",
+    "guid_factory",
+    "SearchOutcome",
+    "UnstructuredNetwork",
+    "WalkResult",
+    "random_walk",
+    "Topology",
+    "flat_random",
+    "from_networkx",
+    "two_tier_gnutella",
+]

@@ -1,0 +1,72 @@
+"""Wire-size model: from message counts to bytes.
+
+Message counts treat a 60-byte Ping and a 4 KB QRT upload alike; the
+bandwidth view converts each message class to bytes using the Gnutella
+0.6 framing (23-byte descriptor header plus payload), so strategy
+comparisons can be stated in the unit deployments actually provision.
+Sizes follow the protocol specification and the measurement
+literature's typical values; they are parameters, not constants baked
+into the math.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["WireModel", "DEFAULT_WIRE"]
+
+#: Gnutella 0.6 descriptor header (23 bytes) — every message carries it.
+HEADER_BYTES = 23
+
+
+@dataclass(frozen=True)
+class WireModel:
+    """Byte sizes for each message class."""
+
+    #: mean query payload: 2-byte flags + terms + NUL (~ 30 B observed).
+    query_payload: int = 30
+    #: mean per-result QueryHit payload share (descriptor + file entry).
+    hit_payload_per_result: int = 90
+    ping_payload: int = 0
+    pong_payload: int = 14
+    #: compressed QRT upload (patch variant).
+    qrt_upload: int = 4_096
+    #: one posting entry shipped through the DHT (id + framing).
+    posting_entry: int = 12
+    #: one DHT routing hop (UDP datagram with key + addresses).
+    dht_hop: int = 60
+
+    def query_bytes(self, messages: int) -> int:
+        """Bytes for ``messages`` query transmissions."""
+        self._check(messages)
+        return messages * (HEADER_BYTES + self.query_payload)
+
+    def hit_bytes(self, n_results: int) -> int:
+        """Bytes for a QueryHit carrying ``n_results`` results."""
+        self._check(n_results)
+        if n_results == 0:
+            return 0
+        return HEADER_BYTES + n_results * self.hit_payload_per_result
+
+    def ping_pong_bytes(self, pings: int, pongs: int) -> int:
+        """Bytes for keep-alive/discovery traffic."""
+        self._check(pings)
+        self._check(pongs)
+        return pings * (HEADER_BYTES + self.ping_payload) + pongs * (
+            HEADER_BYTES + self.pong_payload
+        )
+
+    def dht_query_bytes(self, hops: int, posting_entries: int) -> int:
+        """Bytes for a DHT keyword query."""
+        self._check(hops)
+        self._check(posting_entries)
+        return hops * self.dht_hop + posting_entries * self.posting_entry
+
+    @staticmethod
+    def _check(value: int) -> None:
+        if value < 0:
+            raise ValueError("counts must be non-negative")
+
+
+#: The default instance used by reports.
+DEFAULT_WIRE = WireModel()

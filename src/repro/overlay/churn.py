@@ -1,0 +1,152 @@
+"""Peer churn and its effect on crawl snapshots.
+
+The paper's crawler follows Cruiser (ref [10]), whose whole reason to
+exist is churn: Gnutella peers stay online for heavy-tailed sessions,
+so a *slow* crawl does not observe a snapshot — it observes the union
+of everyone who was online at some point during the crawl, inflating
+peer (and object) counts.  This module provides the session-timeline
+substrate and the biased-snapshot measurement, used by the crawl-bias
+ablation to quantify how crawl duration distorts the §III statistics.
+
+Sessions alternate online/offline periods with lognormal durations
+(Stutzbach & Rejaie measured heavy-tailed Gnutella sessions); each
+peer gets an independent random phase, so the process is stationary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.rng import derive
+
+__all__ = ["ChurnConfig", "ChurnTimeline", "crawl_snapshot"]
+
+
+@dataclass(frozen=True)
+class ChurnConfig:
+    """Session/downtime process parameters."""
+
+    n_peers: int = 1_000
+    mean_session_s: float = 3_600.0
+    mean_downtime_s: float = 7_200.0
+    sigma: float = 1.0  # lognormal shape for both phases
+    horizon_s: float = 2 * 86_400.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_peers <= 0:
+            raise ValueError("n_peers must be positive")
+        if self.mean_session_s <= 0 or self.mean_downtime_s <= 0:
+            raise ValueError("durations must be positive")
+        if self.horizon_s <= 0:
+            raise ValueError("horizon_s must be positive")
+
+    @property
+    def expected_availability(self) -> float:
+        """Stationary fraction of time a peer is online."""
+        return self.mean_session_s / (self.mean_session_s + self.mean_downtime_s)
+
+
+class ChurnTimeline:
+    """Alternating up/down interval timelines for every peer.
+
+    ``boundaries[p]`` holds the cumulative phase-change times of peer
+    ``p`` (starting from an online period at a random negative phase),
+    covering ``[0, horizon_s]``.
+    """
+
+    def __init__(self, config: ChurnConfig | None = None) -> None:
+        self.config = config or ChurnConfig()
+        cfg = self.config
+        rng = derive(cfg.seed, "churn")
+        cycle = cfg.mean_session_s + cfg.mean_downtime_s
+        # Enough cycles to cover horizon + one full cycle of phase.
+        n_cycles = int(np.ceil((cfg.horizon_s + 4 * cycle) / cycle)) + 4
+
+        def lognormal(mean: float, size: tuple[int, int]) -> np.ndarray:
+            mu = np.log(mean) - 0.5 * cfg.sigma**2
+            return rng.lognormal(mu, cfg.sigma, size=size)
+
+        ups = lognormal(cfg.mean_session_s, (cfg.n_peers, n_cycles))
+        downs = lognormal(cfg.mean_downtime_s, (cfg.n_peers, n_cycles))
+        interleaved = np.empty((cfg.n_peers, 2 * n_cycles))
+        interleaved[:, 0::2] = ups
+        interleaved[:, 1::2] = downs
+        boundaries = np.cumsum(interleaved, axis=1)
+        # Random stationary phase: shift left by a uniform fraction of
+        # the total span so time 0 lands somewhere mid-process.
+        phase = rng.random(cfg.n_peers) * boundaries[:, -1] * 0.5
+        self._boundaries = boundaries - phase[:, None]
+
+    @property
+    def n_peers(self) -> int:
+        """Number of peers in the timeline."""
+        return self.config.n_peers
+
+    def online_mask(self, t: float) -> np.ndarray:
+        """Bool per peer: online at absolute time ``t``.
+
+        A peer is online during even-indexed intervals (before
+        ``boundaries[:, 0]`` is the first up period, etc.).
+        """
+        if not 0 <= t <= self.config.horizon_s:
+            raise ValueError(f"t outside the simulated horizon: {t}")
+        idx = (self._boundaries <= t).sum(axis=1)
+        return idx % 2 == 0
+
+    def online_count(self, t: float) -> int:
+        """Number of peers online at ``t``."""
+        return int(self.online_mask(t).sum())
+
+    def availability(self, samples: int = 48) -> float:
+        """Empirical mean fraction of peers online."""
+        ts = np.linspace(0, self.config.horizon_s, samples)
+        return float(np.mean([self.online_mask(t).mean() for t in ts]))
+
+    def ever_online(self, t0: float, t1: float, samples: int = 64) -> np.ndarray:
+        """Bool per peer: online at any sampled instant of ``[t0, t1]``."""
+        if t1 < t0:
+            raise ValueError("t1 must be >= t0")
+        ts = np.linspace(t0, t1, samples)
+        out = np.zeros(self.n_peers, dtype=bool)
+        for t in ts:
+            out |= self.online_mask(float(t))
+        return out
+
+
+def crawl_snapshot(
+    timeline: ChurnTimeline,
+    *,
+    start_s: float,
+    duration_s: float,
+    revisit_interval_s: float = 600.0,
+    seed: int = 0,
+) -> np.ndarray:
+    """Peers a crawl of the given duration observes as online.
+
+    A crawler keeps harvesting addresses for as long as it runs: every
+    ``revisit_interval_s`` it completes another discovery sweep, and a
+    peer counts as observed if it was online during *any* sweep within
+    the crawl window.  A zero-duration crawl therefore sees exactly
+    the instantaneous online population, while a long crawl converges
+    to "everyone who was ever online during the window" — the
+    snapshot-inflation effect Cruiser (paper ref [10]) was built to
+    avoid.  ``seed`` jitters the sweep instants.
+    """
+    cfg = timeline.config
+    if duration_s < 0:
+        raise ValueError("duration_s must be non-negative")
+    if revisit_interval_s <= 0:
+        raise ValueError("revisit_interval_s must be positive")
+    if start_s + duration_s > cfg.horizon_s:
+        raise ValueError("crawl window exceeds the simulated horizon")
+    rng = derive(seed, "crawl-snapshot")
+    n_sweeps = 1 + int(duration_s // revisit_interval_s)
+    observed = np.zeros(cfg.n_peers, dtype=bool)
+    for i in range(n_sweeps):
+        jitter = float(rng.random()) * min(revisit_interval_s, max(duration_s, 1.0))
+        t = start_s + min(i * revisit_interval_s + (jitter if i else 0.0), duration_s)
+        observed |= timeline.online_mask(float(min(t, cfg.horizon_s)))
+    return np.flatnonzero(observed)

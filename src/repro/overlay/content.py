@@ -1,0 +1,102 @@
+"""Shared-content index: who shares what, term-matchable.
+
+Bridges a :class:`~repro.tracegen.gnutella_trace.GnutellaShareTrace`
+to the overlay: every shared instance is tokenized once (via
+:class:`~repro.analysis.tokenize.TermIndex`) and posting lists map
+term ids to the instances whose names contain them.  Query matching is
+Gnutella semantics: a file matches when its name contains *all* query
+terms; a peer responds with its matching files.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.tokenize import TermIndex
+from repro.tracegen.gnutella_trace import GnutellaShareTrace
+
+__all__ = ["SharedContentIndex"]
+
+
+class SharedContentIndex:
+    """Inverted index over shared-file instances.
+
+    Attributes
+    ----------
+    instance_peer:
+        peer id per instance.
+    term_index:
+        tokenization of the distinct observed names.
+    """
+
+    def __init__(self, trace: GnutellaShareTrace) -> None:
+        self.trace = trace
+        self.n_peers = trace.n_peers
+        self.instance_peer = trace.peer_of_instance
+        self.term_index = TermIndex(trace.unique_names())
+        terms, origin = self.term_index.expand(trace.name_ids)
+        # Deduplicate repeated terms within one instance's name.
+        pairs = np.unique(terms * trace.n_instances + origin)
+        terms = pairs // trace.n_instances
+        origin = pairs % trace.n_instances
+        order = np.argsort(terms, kind="stable")
+        self._posting_terms = terms[order]
+        self._posting_instances = origin[order]
+        counts = np.bincount(terms, minlength=self.term_index.n_terms)
+        self._posting_offsets = np.zeros(self.term_index.n_terms + 1, dtype=np.int64)
+        np.cumsum(counts, out=self._posting_offsets[1:])
+
+    @property
+    def n_instances(self) -> int:
+        """Total shared-file instances indexed."""
+        return self.trace.n_instances
+
+    def term_id(self, term: str) -> int | None:
+        """Term id for a string, or ``None`` if the term matches nothing."""
+        return self.term_index.terms.get(term)
+
+    def posting(self, term_id: int) -> np.ndarray:
+        """Sorted instance ids whose names contain ``term_id``."""
+        lo = self._posting_offsets[term_id]
+        hi = self._posting_offsets[term_id + 1]
+        return self._posting_instances[lo:hi]
+
+    def term_peer_counts(self) -> np.ndarray:
+        """Distinct-peer count per term — the paper's Fig. 3 quantity."""
+        peers = self.instance_peer[self._posting_instances]
+        pairs = np.unique(self._posting_terms * self.n_peers + peers)
+        return np.bincount(
+            (pairs // self.n_peers).astype(np.int64),
+            minlength=self.term_index.n_terms,
+        )
+
+    def match(self, terms: list[str]) -> np.ndarray:
+        """Instances whose names contain all ``terms`` (AND semantics).
+
+        Returns a sorted instance-id array; empty if any term is
+        unknown (an unknown term can match no file).
+        """
+        if not terms:
+            raise ValueError("a query needs at least one term")
+        ids = []
+        for t in terms:
+            tid = self.term_id(t)
+            if tid is None:
+                return np.empty(0, dtype=np.int64)
+            ids.append(tid)
+        postings = sorted((self.posting(t) for t in set(ids)), key=len)
+        result = postings[0]
+        for p in postings[1:]:
+            if result.size == 0:
+                break
+            result = np.intersect1d(result, p, assume_unique=True)
+        return result
+
+    def matching_peers(self, terms: list[str]) -> np.ndarray:
+        """Distinct peers holding at least one file matching ``terms``."""
+        return np.unique(self.instance_peer[self.match(terms)])
+
+    def peer_results(self, terms: list[str], peer_mask: np.ndarray) -> np.ndarray:
+        """Matching instances restricted to peers where ``peer_mask`` is True."""
+        hits = self.match(terms)
+        return hits[peer_mask[self.instance_peer[hits]]]

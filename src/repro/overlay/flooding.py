@@ -1,0 +1,132 @@
+"""TTL-scoped flooding (Gnutella Query propagation).
+
+A query starts at a source with a time-to-live; every *forwarding*
+node relays it to all neighbors, decrementing the TTL, with GUID-based
+duplicate suppression (each node processes a query once).  The reached
+set is therefore the BFS ball of radius TTL, restricted to paths whose
+interior nodes forward.
+
+Everything is vectorized: the BFS frontier is a numpy array and each
+level is one gather + dedup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.overlay.topology import Topology
+from repro.utils.stats import ragged_arange
+
+__all__ = ["FloodResult", "flood", "flood_depths", "reach_fractions"]
+
+
+@dataclass(frozen=True)
+class FloodResult:
+    """Outcome of one flood.
+
+    ``depth[v]`` is the hop count at which ``v`` first saw the query
+    (-1 = never reached; 0 = the source itself).  ``messages`` counts
+    query transmissions, including duplicates suppressed on arrival —
+    the real network cost of the flood.
+    """
+
+    source: int
+    ttl: int
+    depth: np.ndarray
+    messages: int
+
+    @property
+    def reached(self) -> np.ndarray:
+        """Ids of all nodes that saw the query (including the source)."""
+        return np.flatnonzero(self.depth >= 0)
+
+    @property
+    def n_reached(self) -> int:
+        """Number of nodes that saw the query."""
+        return int(np.count_nonzero(self.depth >= 0))
+
+
+def flood_depths(
+    topology: Topology,
+    sources: np.ndarray | int,
+    max_depth: int,
+    *,
+    p_loss: float = 0.0,
+    rng: np.random.Generator | None = None,
+) -> tuple[np.ndarray, int]:
+    """Multi-source BFS depth map honoring forwarding rules.
+
+    Returns ``(depth, messages)``.  ``sources`` always emit (a leaf
+    source still sends to its ultrapeers); beyond that, only nodes
+    with ``topology.forwards`` relay.  ``messages`` counts every
+    transmission (duplicates included), matching Gnutella accounting.
+
+    ``p_loss`` drops each individual transmission independently (UDP
+    loss, overloaded peers): lost messages still count as sent, but
+    never deliver.  Requires ``rng`` when positive.
+    """
+    if max_depth < 0:
+        raise ValueError(f"max_depth must be non-negative, got {max_depth}")
+    if not 0.0 <= p_loss < 1.0:
+        raise ValueError(f"p_loss must be in [0, 1), got {p_loss}")
+    if p_loss > 0.0 and rng is None:
+        raise ValueError("p_loss > 0 requires an rng")
+    sources = np.atleast_1d(np.asarray(sources, dtype=np.int64))
+    depth = np.full(topology.n_nodes, -1, dtype=np.int64)
+    depth[sources] = 0
+    frontier = np.unique(sources)
+    messages = 0
+    offsets, neighbors = topology.offsets, topology.neighbors
+    for level in range(1, max_depth + 1):
+        if frontier.size == 0:
+            break
+        # Only forwarding nodes relay, except at level 1 where the
+        # sources themselves emit.
+        senders = frontier if level == 1 else frontier[topology.forwards[frontier]]
+        if senders.size == 0:
+            break
+        lengths = offsets[senders + 1] - offsets[senders]
+        gather = np.repeat(offsets[senders], lengths) + ragged_arange(lengths)
+        targets = neighbors[gather]
+        messages += targets.size
+        if p_loss > 0.0:
+            targets = targets[rng.random(targets.size) >= p_loss]
+        new = np.unique(targets[depth[targets] < 0])
+        depth[new] = level
+        frontier = new
+    return depth, messages
+
+
+def flood(topology: Topology, source: int, ttl: int) -> FloodResult:
+    """Flood from one source with the given TTL."""
+    depth, messages = flood_depths(topology, source, ttl)
+    return FloodResult(source=source, ttl=ttl, depth=depth, messages=messages)
+
+
+def reach_fractions(
+    topology: Topology,
+    sources: np.ndarray,
+    ttls: np.ndarray | list[int],
+) -> np.ndarray:
+    """Mean fraction of nodes reached per TTL, averaged over sources.
+
+    One BFS per source computes every TTL at once (TTL ``t`` reach is
+    the number of nodes at depth <= ``t``).  This regenerates the
+    paper's §V reach table (0.05% @ TTL 1 ... 82.95% @ TTL 5).
+    """
+    ttls = np.asarray(ttls, dtype=np.int64)
+    if ttls.size == 0:
+        raise ValueError("need at least one TTL")
+    max_ttl = int(ttls.max())
+    out = np.zeros((len(sources), ttls.size), dtype=np.float64)
+    n = topology.n_nodes
+    for i, s in enumerate(np.asarray(sources, dtype=np.int64)):
+        depth, _ = flood_depths(topology, int(s), max_ttl)
+        reached = depth[depth >= 0]
+        level_counts = np.bincount(reached, minlength=max_ttl + 1)
+        cum = np.cumsum(level_counts)
+        # Exclude the source itself from "peers reached".
+        out[i] = (cum[ttls] - 1) / n
+    return out.mean(axis=0)

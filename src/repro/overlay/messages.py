@@ -1,0 +1,68 @@
+"""Gnutella protocol message types.
+
+A light protocol facade over the vectorized simulation core: the
+message classes capture the fields the paper's methodology relies on
+(query term strings, TTL/hops bookkeeping, GUID-based duplicate
+suppression) without simulating byte-level framing.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+__all__ = ["Guid", "QueryMessage", "QueryHit", "guid_factory"]
+
+_guid_counter = itertools.count(1)
+
+
+def guid_factory() -> int:
+    """Monotonically increasing GUIDs (unique per process)."""
+    return next(_guid_counter)
+
+
+Guid = int
+
+
+@dataclass(frozen=True)
+class QueryMessage:
+    """A Gnutella Query descriptor.
+
+    ``terms`` are the tokenized search keywords (matching is AND over
+    a file's name terms, per the 0.6 spec).  ``ttl``/``hops`` follow
+    protocol semantics: forwarding decrements ``ttl`` and increments
+    ``hops``; a query with ``ttl == 0`` is not relayed further.
+    """
+
+    terms: tuple[str, ...]
+    ttl: int
+    hops: int = 0
+    guid: Guid = field(default_factory=guid_factory)
+
+    def __post_init__(self) -> None:
+        if not self.terms:
+            raise ValueError("a query needs at least one term")
+        if self.ttl < 0 or self.hops < 0:
+            raise ValueError("ttl and hops must be non-negative")
+
+    def forwarded(self) -> "QueryMessage":
+        """The message as received by the next hop."""
+        if self.ttl == 0:
+            raise ValueError("cannot forward a query with ttl=0")
+        return QueryMessage(
+            terms=self.terms, ttl=self.ttl - 1, hops=self.hops + 1, guid=self.guid
+        )
+
+
+@dataclass(frozen=True)
+class QueryHit:
+    """A Gnutella QueryHit: one responding peer, its matching files."""
+
+    guid: Guid
+    responder: int
+    file_names: tuple[str, ...]
+
+    @property
+    def n_results(self) -> int:
+        """Number of matching files reported."""
+        return len(self.file_names)

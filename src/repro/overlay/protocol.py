@@ -1,0 +1,249 @@
+"""Gnutella connection-management protocol: how the overlay forms.
+
+The topologies elsewhere in :mod:`repro.overlay` are generated in one
+shot; the deployed network the paper crawled *emerged* from the
+Gnutella 0.6 connection protocol — bootstrap host caches, handshakes,
+Ping/Pong address discovery, and reconnection after neighbor loss.
+This module simulates that process in rounds, so the repository can
+show (a) the emergent degree structure the generators approximate and
+(b) that the overlay stays connected under churn, which the crawl
+methodology implicitly assumes.
+
+The simulation is deliberately object-level (sets, not CSR): network
+formation is control-plane work at thousands of nodes, not a numeric
+hot path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.overlay.topology import Topology, _edges_to_csr
+from repro.utils.rng import derive
+
+__all__ = ["ProtocolConfig", "GnutellaSession"]
+
+
+@dataclass(frozen=True)
+class ProtocolConfig:
+    """Connection-management parameters (Gnutella 0.6-style)."""
+
+    n_nodes: int = 500
+    #: connections every node tries to hold open.
+    target_degree: int = 6
+    max_degree: int = 12
+    #: addresses returned by one Ping sweep (a pong cache page).
+    pongs_per_ping: int = 10
+    #: bootstrap host-cache size (the GWebCache analog).
+    host_cache_size: int = 20
+    #: desired ultrapeer share; 0 disables election (flat network).
+    ultrapeer_fraction: float = 0.0
+    #: connection-budget multiplier for elected ultrapeers (deployed
+    #: ultrapeers held ~5-10x a leaf's connection count).
+    ultrapeer_degree_multiplier: int = 4
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 2:
+            raise ValueError("need at least two nodes")
+        if not 1 <= self.target_degree <= self.max_degree:
+            raise ValueError("need 1 <= target_degree <= max_degree")
+        if self.pongs_per_ping < 1 or self.host_cache_size < 1:
+            raise ValueError("pong and host-cache sizes must be positive")
+        if not 0.0 <= self.ultrapeer_fraction < 1.0:
+            raise ValueError("ultrapeer_fraction must be in [0, 1)")
+        if self.ultrapeer_degree_multiplier < 1:
+            raise ValueError("ultrapeer_degree_multiplier must be positive")
+
+
+class GnutellaSession:
+    """A network being formed and repaired by the connection protocol.
+
+    Nodes join via :meth:`join`, leave via :meth:`leave`, and each
+    :meth:`run_round` lets every under-connected node ping for
+    addresses and open connections.  ``snapshot()`` freezes the current
+    graph into a :class:`~repro.overlay.topology.Topology` for the
+    numeric machinery.
+    """
+
+    def __init__(self, config: ProtocolConfig | None = None) -> None:
+        self.config = config or ProtocolConfig()
+        self._rng = derive(self.config.seed, "protocol")
+        self.online: set[int] = set()
+        self.neighbors: dict[int, set[int]] = {}
+        #: each node's known-address cache (its local host cache).
+        self.known: dict[int, list[int]] = {}
+        #: the global bootstrap cache (recently seen addresses).
+        self.bootstrap: list[int] = []
+        #: elected ultrapeers (capacity leaders, per election rounds).
+        self.ultrapeers: set[int] = set()
+        #: per-node capacity score used by ultrapeer election.
+        self._capacity = derive(self.config.seed, "protocol", "capacity").random(
+            self.config.n_nodes
+        )
+
+    # -- membership ---------------------------------------------------------
+
+    def join(self, node: int) -> None:
+        """Bring ``node`` online; it learns addresses from the bootstrap."""
+        if node in self.online:
+            raise ValueError(f"node {node} is already online")
+        self.online.add(node)
+        self.neighbors.setdefault(node, set())
+        seeds = [a for a in self.bootstrap if a != node and a in self.online]
+        self.known[node] = seeds[-self.config.host_cache_size :]
+        self._push_bootstrap(node)
+
+    def leave(self, node: int) -> None:
+        """Take ``node`` offline; neighbors notice the drop."""
+        if node not in self.online:
+            raise ValueError(f"node {node} is not online")
+        self.online.discard(node)
+        for other in list(self.neighbors.get(node, ())):
+            self.neighbors[other].discard(node)
+        self.neighbors[node] = set()
+
+    def _push_bootstrap(self, node: int) -> None:
+        self.bootstrap.append(node)
+        if len(self.bootstrap) > self.config.host_cache_size:
+            self.bootstrap.pop(0)
+
+    # -- protocol rounds ------------------------------------------------------
+
+    def _ping(self, node: int) -> list[int]:
+        """Two-hop address harvest: neighbors and neighbors-of-neighbors."""
+        found: set[int] = set()
+        for n1 in self.neighbors[node]:
+            found.add(n1)
+            found.update(self.neighbors[n1])
+        found.discard(node)
+        pool = [x for x in found if x in self.online]
+        self._rng.shuffle(pool)
+        return pool[: self.config.pongs_per_ping]
+
+    def run_round(self) -> int:
+        """One maintenance round; returns connections opened.
+
+        Every online node below ``target_degree`` harvests addresses
+        (Ping/Pong plus its host cache) and opens connections to
+        random candidates that still have headroom.
+        """
+        cfg = self.config
+
+        def target_of(v: int) -> int:
+            mult = cfg.ultrapeer_degree_multiplier if v in self.ultrapeers else 1
+            return cfg.target_degree * mult
+
+        def cap_of(v: int) -> int:
+            mult = cfg.ultrapeer_degree_multiplier if v in self.ultrapeers else 1
+            return cfg.max_degree * mult
+
+        opened = 0
+        order = sorted(self.online)
+        self._rng.shuffle(order)
+        for node in order:
+            if len(self.neighbors[node]) >= target_of(node):
+                continue
+            candidates = self._ping(node) + self.known.get(node, [])
+            self._rng.shuffle(candidates)
+            if self.ultrapeers:
+                # Gnutella 0.6 handshake preference: connect to
+                # ultrapeers first — leaves hanging off leaves cannot
+                # route queries.
+                candidates.sort(key=lambda v: v not in self.ultrapeers)
+            for peer in candidates:
+                if len(self.neighbors[node]) >= target_of(node):
+                    break
+                if (
+                    peer == node
+                    or peer not in self.online
+                    or peer in self.neighbors[node]
+                    or len(self.neighbors[peer]) >= cap_of(peer)
+                ):
+                    continue
+                self.neighbors[node].add(peer)
+                self.neighbors[peer].add(node)
+                self.known.setdefault(node, []).append(peer)
+                self._push_bootstrap(peer)
+                opened += 1
+        return opened
+
+    def elect_ultrapeers(self) -> None:
+        """Promote/demote ultrapeers by capacity (Gnutella 0.6 election).
+
+        The top ``ultrapeer_fraction`` of *online* nodes by capacity
+        score hold ultrapeer status; departures therefore trigger
+        promotions on the next election.  No-op when the fraction is 0.
+        """
+        frac = self.config.ultrapeer_fraction
+        if frac <= 0.0 or not self.online:
+            self.ultrapeers = set()
+            return
+        want = max(1, int(round(frac * len(self.online))))
+        ranked = sorted(self.online, key=lambda v: (-self._capacity[v], v))
+        self.ultrapeers = set(ranked[:want])
+
+    def form(self, rounds: int = 10) -> None:
+        """Join every configured node and run maintenance rounds."""
+        for node in range(self.config.n_nodes):
+            if node not in self.online:
+                self.join(node)
+        for _ in range(rounds):
+            self.elect_ultrapeers()
+            if self.run_round() == 0:
+                break
+        self.elect_ultrapeers()
+
+    # -- inspection -----------------------------------------------------------
+
+    def degree_of(self, node: int) -> int:
+        """Current connection count of ``node``."""
+        return len(self.neighbors.get(node, ()))
+
+    def snapshot(self) -> Topology:
+        """Freeze the current online graph as a Topology.
+
+        Offline nodes appear isolated (degree 0), preserving node ids.
+        With ultrapeer election enabled, only elected ultrapeers carry
+        the ``forwards`` flag (leaves don't relay) — the emergent
+        counterpart of :func:`~repro.overlay.topology.two_tier_gnutella`.
+        """
+        edges = [
+            (a, b)
+            for a in self.online
+            for b in self.neighbors[a]
+            if a < b and b in self.online
+        ]
+        arr = np.asarray(edges, dtype=np.int64).reshape(-1, 2)
+        offsets, neighbors = _edges_to_csr(self.config.n_nodes, arr)
+        if self.config.ultrapeer_fraction > 0.0:
+            forwards = np.zeros(self.config.n_nodes, dtype=bool)
+            forwards[sorted(self.ultrapeers)] = True
+        else:
+            forwards = np.ones(self.config.n_nodes, dtype=bool)
+        return Topology(offsets, neighbors, forwards)
+
+    def largest_component_fraction(self) -> float:
+        """Fraction of online nodes in the largest connected component."""
+        if not self.online:
+            return 0.0
+        seen: set[int] = set()
+        best = 0
+        for start in self.online:
+            if start in seen:
+                continue
+            stack = [start]
+            comp = 0
+            while stack:
+                v = stack.pop()
+                if v in seen:
+                    continue
+                seen.add(v)
+                comp += 1
+                stack.extend(
+                    w for w in self.neighbors[v] if w in self.online and w not in seen
+                )
+            best = max(best, comp)
+        return best / len(self.online)

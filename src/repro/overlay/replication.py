@@ -1,0 +1,95 @@
+"""Replication policies for unstructured search (Cohen & Shenker).
+
+The paper's §III finding — objects are insufficiently replicated for
+flooding — begs the question of what replication *could* achieve.  The
+classic answer: for random-probe searches, allocating a replica budget
+proportionally to the **square root** of each object's query rate
+minimizes the expected search size; uniform and query-proportional
+allocations are both worse.
+
+Two things make this module more than a textbook exercise here:
+
+* the optimal policy needs the *query* rates — a content-centric
+  system cannot compute it, which is one more argument for the paper's
+  query-centric position; and
+* under the measured query/file mismatch, allocating by *file*
+  popularity (what a content-centric replicator would do) misallocates
+  the budget, which `repro.core`'s ablations quantify.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "allocate_replicas",
+    "expected_search_size",
+    "POLICIES",
+]
+
+POLICIES = ("uniform", "proportional", "square-root")
+
+
+def allocate_replicas(
+    query_weights: np.ndarray, budget: int, policy: str
+) -> np.ndarray:
+    """Integer replica counts per object under a replication policy.
+
+    ``query_weights`` are non-negative relative query rates; ``budget``
+    is the total number of replicas to place.  Every object receives at
+    least one replica (it exists somewhere); the remaining budget is
+    apportioned by the policy with largest-remainder rounding so the
+    counts sum exactly to ``budget``.
+    """
+    weights = np.asarray(query_weights, dtype=np.float64)
+    n = weights.size
+    if n == 0:
+        raise ValueError("need at least one object")
+    if np.any(weights < 0):
+        raise ValueError("query weights must be non-negative")
+    if budget < n:
+        raise ValueError(f"budget {budget} cannot give every object one replica (n={n})")
+    if policy == "uniform":
+        shares = np.ones(n)
+    elif policy == "proportional":
+        shares = weights.copy()
+    elif policy == "square-root":
+        shares = np.sqrt(weights)
+    else:
+        raise ValueError(f"unknown policy: {policy!r} (choose from {POLICIES})")
+    if shares.sum() == 0:
+        shares = np.ones(n)
+
+    extra = budget - n
+    raw = shares / shares.sum() * extra
+    counts = np.floor(raw).astype(np.int64)
+    remainder = extra - int(counts.sum())
+    if remainder > 0:
+        order = np.argsort(raw - counts)[::-1]
+        counts[order[:remainder]] += 1
+    return counts + 1
+
+
+def expected_search_size(
+    counts: np.ndarray, query_weights: np.ndarray, n_nodes: int
+) -> float:
+    """Expected random probes per query under a replica allocation.
+
+    With ``c`` replicas uniformly placed among ``n`` nodes, uniform
+    random probing needs ``(n + 1) / (c + 1)`` probes in expectation to
+    hit one.  The returned value is the query-rate-weighted mean — the
+    objective square-root replication minimizes.
+    """
+    counts = np.asarray(counts, dtype=np.float64)
+    weights = np.asarray(query_weights, dtype=np.float64)
+    if counts.shape != weights.shape:
+        raise ValueError("counts and weights must be aligned")
+    if np.any(counts < 1):
+        raise ValueError("every object needs at least one replica")
+    if n_nodes < counts.max():
+        raise ValueError("more replicas of an object than nodes")
+    total = weights.sum()
+    if total == 0:
+        raise ValueError("query weights sum to zero")
+    probes = (n_nodes + 1.0) / (counts + 1.0)
+    return float(np.sum(weights * probes) / total)

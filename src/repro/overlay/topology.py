@@ -1,0 +1,171 @@
+"""Overlay topologies.
+
+The paper's flooding simulation runs on a 40,000-node Gnutella
+network.  Modern (0.6-era) Gnutella is two-tier: *ultrapeers* form a
+random mesh and route queries; *leaves* hang off a few ultrapeers and
+never forward.  Both two-tier and flat random topologies are provided;
+the adjacency lives in CSR arrays so flooding is pure numpy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+import numpy as np
+
+from repro.utils.rng import make_rng
+
+__all__ = ["Topology", "two_tier_gnutella", "flat_random", "from_networkx"]
+
+
+@dataclass
+class Topology:
+    """Undirected graph in CSR form.
+
+    ``neighbors[offsets[v]:offsets[v+1]]`` are the neighbors of ``v``.
+    ``forwards[v]`` says whether ``v`` relays queries (ultrapeers do,
+    leaves do not; in a flat topology everybody forwards).
+    """
+
+    offsets: np.ndarray
+    neighbors: np.ndarray
+    forwards: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.offsets.ndim != 1 or self.offsets[0] != 0:
+            raise ValueError("offsets must be a 1-D array starting at 0")
+        if int(self.offsets[-1]) != self.neighbors.size:
+            raise ValueError("offsets and neighbors are inconsistent")
+        if self.forwards.shape[0] != self.n_nodes:
+            raise ValueError("forwards mask must have one entry per node")
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of nodes."""
+        return self.offsets.size - 1
+
+    @property
+    def n_edges(self) -> int:
+        """Number of undirected edges."""
+        return self.neighbors.size // 2
+
+    def degree(self, v: int | None = None) -> np.ndarray | int:
+        """Degree of one node, or the whole degree vector."""
+        if v is None:
+            return np.diff(self.offsets)
+        return int(self.offsets[v + 1] - self.offsets[v])
+
+    def neighbors_of(self, v: int) -> np.ndarray:
+        """Neighbor ids of ``v``."""
+        return self.neighbors[self.offsets[v] : self.offsets[v + 1]]
+
+    def to_networkx(self) -> nx.Graph:
+        """Export to a networkx graph (node attribute ``forwards``)."""
+        g = nx.Graph()
+        g.add_nodes_from(range(self.n_nodes))
+        for v in range(self.n_nodes):
+            for w in self.neighbors_of(v):
+                if v < w:
+                    g.add_edge(v, int(w))
+        nx.set_node_attributes(
+            g, {v: bool(self.forwards[v]) for v in range(self.n_nodes)}, "forwards"
+        )
+        return g
+
+
+def _edges_to_csr(n_nodes: int, edges: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Symmetrize an edge list into CSR arrays (parallel edges merged)."""
+    if edges.size == 0:
+        return np.zeros(n_nodes + 1, dtype=np.int64), np.empty(0, dtype=np.int64)
+    u, v = edges[:, 0], edges[:, 1]
+    keep = u != v
+    u, v = u[keep], v[keep]
+    lo, hi = np.minimum(u, v), np.maximum(u, v)
+    uniq = np.unique(lo.astype(np.int64) * n_nodes + hi)
+    lo, hi = uniq // n_nodes, uniq % n_nodes
+    src = np.concatenate([lo, hi])
+    dst = np.concatenate([hi, lo])
+    order = np.argsort(src, kind="stable")
+    src, dst = src[order], dst[order]
+    offsets = np.zeros(n_nodes + 1, dtype=np.int64)
+    np.cumsum(np.bincount(src, minlength=n_nodes), out=offsets[1:])
+    return offsets, dst.astype(np.int64)
+
+
+def from_networkx(g: nx.Graph) -> Topology:
+    """Build a :class:`Topology` from a networkx graph.
+
+    Nodes must be ``0..n-1``; a ``forwards`` node attribute is honored
+    (default: every node forwards).
+    """
+    n = g.number_of_nodes()
+    if set(g.nodes) != set(range(n)):
+        raise ValueError("nodes must be labeled 0..n-1 (use convert_node_labels_to_integers)")
+    edges = np.asarray([(u, v) for u, v in g.edges], dtype=np.int64).reshape(-1, 2)
+    offsets, neighbors = _edges_to_csr(n, edges)
+    forwards = np.asarray(
+        [bool(g.nodes[v].get("forwards", True)) for v in range(n)], dtype=bool
+    )
+    return Topology(offsets, neighbors, forwards)
+
+
+def flat_random(
+    n_nodes: int, avg_degree: float, seed: int | np.random.Generator = 0
+) -> Topology:
+    """Flat Erdős–Rényi-style topology; every node forwards."""
+    if n_nodes < 2:
+        raise ValueError("need at least two nodes")
+    if avg_degree <= 0 or avg_degree >= n_nodes:
+        raise ValueError(f"avg_degree must be in (0, n_nodes), got {avg_degree}")
+    rng = seed if isinstance(seed, np.random.Generator) else make_rng(seed)
+    n_edges = int(round(n_nodes * avg_degree / 2))
+    edges = rng.integers(0, n_nodes, size=(n_edges, 2), dtype=np.int64)
+    offsets, neighbors = _edges_to_csr(n_nodes, edges)
+    return Topology(offsets, neighbors, np.ones(n_nodes, dtype=bool))
+
+
+def two_tier_gnutella(
+    n_nodes: int,
+    *,
+    ultrapeer_fraction: float = 0.3,
+    up_up_degree: float = 10.0,
+    leaf_up_connections: int = 3,
+    seed: int | np.random.Generator = 0,
+) -> Topology:
+    """Gnutella-0.6-style two-tier topology.
+
+    The first ``round(n_nodes * ultrapeer_fraction)`` node ids are
+    ultrapeers (convenient for masking); they form a random mesh of
+    average intra-ultrapeer degree ``up_up_degree``.  Each leaf
+    connects to ``leaf_up_connections`` distinct ultrapeers.  Only
+    ultrapeers forward queries.
+    """
+    if not 0.0 < ultrapeer_fraction <= 1.0:
+        raise ValueError("ultrapeer_fraction must be in (0, 1]")
+    rng = seed if isinstance(seed, np.random.Generator) else make_rng(seed)
+    n_up = max(2, int(round(n_nodes * ultrapeer_fraction)))
+    if n_up > n_nodes:
+        raise ValueError("more ultrapeers than nodes")
+    if leaf_up_connections < 1:
+        raise ValueError("leaves need at least one ultrapeer connection")
+    n_leaves = n_nodes - n_up
+
+    n_up_edges = int(round(n_up * up_up_degree / 2))
+    up_edges = rng.integers(0, n_up, size=(n_up_edges, 2), dtype=np.int64)
+
+    # Leaf attachments: sample distinct ultrapeers per leaf.
+    k = min(leaf_up_connections, n_up)
+    leaf_targets = np.empty((n_leaves, k), dtype=np.int64)
+    for j in range(k):
+        leaf_targets[:, j] = rng.integers(0, n_up, size=n_leaves)
+    leaf_ids = np.arange(n_up, n_nodes, dtype=np.int64)
+    leaf_edges = np.stack(
+        [np.repeat(leaf_ids, k), leaf_targets.ravel()], axis=1
+    )
+
+    edges = np.concatenate([up_edges, leaf_edges], axis=0)
+    offsets, neighbors = _edges_to_csr(n_nodes, edges)
+    forwards = np.zeros(n_nodes, dtype=bool)
+    forwards[:n_up] = True
+    return Topology(offsets, neighbors, forwards)

@@ -1,0 +1,175 @@
+"""Ground-truth music catalog.
+
+Both sharing systems in the paper distribute replicas of an underlying
+population of real-world objects (songs).  The catalog is that
+population: every song has an artist, an album, a genre and a title
+composed of lexicon words, plus a global popularity rank that drives
+how many peers hold it.
+
+Song ids double as popularity ranks (id 0 is the most popular song),
+so replica sampling is a single Zipf draw.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.tracegen.lexicon import Lexicon
+from repro.utils.rng import derive
+from repro.utils.zipf import ZipfDistribution
+
+__all__ = ["CatalogConfig", "MusicCatalog", "CANONICAL_GENRES"]
+
+#: The 24 genres iTunes ships with (paper §III-B); users add more.
+CANONICAL_GENRES = [
+    "Alternative", "Blues", "Classical", "Country", "Dance", "Electronic",
+    "Folk", "Hip-Hop", "Holiday", "House", "Industrial", "Jazz", "Latin",
+    "Metal", "New Age", "Opera", "Pop", "Punk", "R&B", "Reggae", "Rock",
+    "Soundtrack", "Techno", "World",
+]
+
+
+@dataclass(frozen=True)
+class CatalogConfig:
+    """Shape parameters of the synthetic catalog.
+
+    ``title_exponent`` skews which lexicon words appear in titles — it
+    is what makes the *term* popularity distribution (paper Fig. 3)
+    Zipf-like.  ``popularity_exponent`` is the Zipf exponent of song
+    replica counts (paper Figs. 1, 4).
+    """
+
+    n_songs: int = 70_000
+    n_artists: int = 6_000
+    n_genres: int = 120
+    lexicon_size: int = 30_000
+    title_exponent: float = 0.85
+    #: calibrated so the default Gnutella trace reproduces the paper's
+    #: singleton / uniqueness fractions (see tests/tracegen).
+    popularity_exponent: float = 0.55
+    genre_exponent: float = 1.2
+    min_title_words: int = 1
+    max_title_words: int = 4
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_songs <= 0 or self.n_artists <= 0:
+            raise ValueError("catalog must have positive song and artist counts")
+        if self.n_genres < len(CANONICAL_GENRES):
+            raise ValueError(
+                f"n_genres must be at least {len(CANONICAL_GENRES)} "
+                f"(the canonical iTunes genres), got {self.n_genres}"
+            )
+        if not 1 <= self.min_title_words <= self.max_title_words:
+            raise ValueError("invalid title word-count range")
+        if self.lexicon_size < self.max_title_words:
+            raise ValueError("lexicon too small for the title length range")
+
+
+class MusicCatalog:
+    """The song population shared (with noise) by Gnutella and iTunes peers."""
+
+    def __init__(self, config: CatalogConfig | None = None) -> None:
+        self.config = config or CatalogConfig()
+        cfg = self.config
+        self.lexicon = Lexicon(cfg.lexicon_size, seed=cfg.seed)
+
+        rng_titles = derive(cfg.seed, "catalog", "titles")
+        rng_struct = derive(cfg.seed, "catalog", "structure")
+
+        # --- song titles: ragged array of lexicon word ids -------------
+        lengths = rng_titles.integers(
+            cfg.min_title_words, cfg.max_title_words + 1, size=cfg.n_songs
+        )
+        self.title_offsets = np.zeros(cfg.n_songs + 1, dtype=np.int64)
+        np.cumsum(lengths, out=self.title_offsets[1:])
+        word_dist = ZipfDistribution(cfg.lexicon_size, cfg.title_exponent)
+        self.title_terms = word_dist.sample(int(self.title_offsets[-1]), rng_titles)
+
+        # --- artists: 1-2 word names, assigned to songs Zipf-style -----
+        artist_lengths = rng_struct.integers(1, 3, size=cfg.n_artists)
+        self._artist_offsets = np.zeros(cfg.n_artists + 1, dtype=np.int64)
+        np.cumsum(artist_lengths, out=self._artist_offsets[1:])
+        self._artist_terms = word_dist.sample(int(self._artist_offsets[-1]), rng_struct)
+        # Artist rank correlates with song popularity rank: hit songs
+        # belong to chart artists, tail songs to obscure ones.  Without
+        # this correlation every artist would pick up a few popular
+        # songs and almost no artist would be a single-peer artist —
+        # contradicting the paper's Fig. 4(d) (65% of artists on one
+        # peer).  Jitter keeps the mapping non-degenerate.
+        base = np.arange(cfg.n_songs, dtype=np.int64) * cfg.n_artists // cfg.n_songs
+        jitter_scale = max(1, cfg.n_artists // 50)
+        jitter = np.rint(rng_struct.normal(0.0, jitter_scale, size=cfg.n_songs))
+        self.song_artist = np.clip(base + jitter.astype(np.int64), 0, cfg.n_artists - 1)
+
+        # --- albums: each artist has a handful; song inherits one ------
+        # Album id = artist id * slots + local index keeps ids dense
+        # enough without a per-artist ragged structure.
+        self._albums_per_artist = 4
+        local_album = rng_struct.integers(0, self._albums_per_artist, size=cfg.n_songs)
+        self.song_album = self.song_artist * self._albums_per_artist + local_album
+        self.n_albums = cfg.n_artists * self._albums_per_artist
+        album_word = word_dist.sample(self.n_albums, rng_struct)
+        self._album_word = album_word
+
+        # --- genres: canonical head + synthetic tail -------------------
+        genre_dist = ZipfDistribution(cfg.n_genres, cfg.genre_exponent)
+        self.song_genre = genre_dist.sample(cfg.n_songs, rng_struct)
+        tail = [
+            self.lexicon.word(int(w)).title()
+            for w in word_dist.sample(cfg.n_genres - len(CANONICAL_GENRES), rng_struct)
+        ]
+        self.genre_names = CANONICAL_GENRES + tail
+
+        # --- popularity (replication) distribution ---------------------
+        self.popularity = ZipfDistribution(cfg.n_songs, cfg.popularity_exponent)
+
+    # -- string rendering (edge-of-system only) -------------------------
+
+    @property
+    def n_songs(self) -> int:
+        """Number of songs in the catalog."""
+        return self.config.n_songs
+
+    def title_term_ids(self, song: int) -> np.ndarray:
+        """Lexicon word ids of a song's title."""
+        return self.title_terms[self.title_offsets[song] : self.title_offsets[song + 1]]
+
+    def artist_term_ids(self, artist: int) -> np.ndarray:
+        """Lexicon word ids of an artist's name."""
+        return self._artist_terms[
+            self._artist_offsets[artist] : self._artist_offsets[artist + 1]
+        ]
+
+    def song_title(self, song: int) -> str:
+        """Title string, e.g. ``"shoomara velin"``."""
+        return self.lexicon.join(self.title_term_ids(song))
+
+    def artist_name(self, artist: int) -> str:
+        """Artist name string."""
+        return self.lexicon.join(self.artist_term_ids(artist)).title()
+
+    def album_name(self, album: int) -> str:
+        """Album name string."""
+        return self.lexicon.word(int(self._album_word[album])).title()
+
+    def genre_name(self, genre: int) -> str:
+        """Genre label."""
+        return self.genre_names[genre]
+
+    def canonical_name(self, song: int, extension: str = "mp3") -> str:
+        """The canonical Gnutella file name ``"Artist - Title.ext"``."""
+        artist = self.artist_name(int(self.song_artist[song]))
+        return f"{artist} - {self.song_title(song)}.{extension}"
+
+    def song_term_ids(self, song: int) -> np.ndarray:
+        """All lexicon word ids appearing in the canonical name."""
+        return np.concatenate(
+            [self.artist_term_ids(int(self.song_artist[song])), self.title_term_ids(song)]
+        )
+
+    def sample_songs(self, size: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw song ids according to catalog popularity."""
+        return self.popularity.sample(size, rng)

@@ -1,0 +1,123 @@
+"""Trace persistence.
+
+Traces are deterministic functions of their configs, but regenerating
+the larger presets takes minutes — and pinning the exact arrays to
+disk makes analysis sessions reproducible even across generator
+changes.  Format: a single ``.npz`` holding the instance arrays plus
+JSON-encoded configs; the catalog is regenerated from its config on
+load (cheap and bit-exact).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.tracegen.catalog import CatalogConfig, MusicCatalog
+from repro.tracegen.gnutella_trace import GnutellaShareTrace, GnutellaTraceConfig
+from repro.tracegen.query_trace import BurstEvent, QueryWorkload, QueryWorkloadConfig
+from repro.utils.text import NameNoiseModel, StringInterner
+
+__all__ = ["save_trace", "load_trace", "save_workload", "load_workload"]
+
+_FORMAT_VERSION = 1
+
+
+def _config_json(config) -> str:
+    return json.dumps(dataclasses.asdict(config))
+
+
+def save_trace(trace: GnutellaShareTrace, path: str | Path) -> None:
+    """Write a Gnutella share trace to ``path`` (.npz)."""
+    path = Path(path)
+    np.savez_compressed(
+        path,
+        format_version=np.int64(_FORMAT_VERSION),
+        kind="gnutella-share-trace",
+        catalog_config=_config_json(trace.catalog.config),
+        trace_config=_config_json(trace.config),
+        peer_offsets=trace.peer_offsets,
+        song_ids=trace.song_ids,
+        name_ids=trace.name_ids,
+        names=np.asarray(trace.names.strings(), dtype=object),
+    )
+
+
+def load_trace(path: str | Path) -> GnutellaShareTrace:
+    """Read a Gnutella share trace written by :func:`save_trace`."""
+    with np.load(Path(path), allow_pickle=True) as data:
+        if str(data["kind"]) != "gnutella-share-trace":
+            raise ValueError(f"{path} is not a saved share trace")
+        if int(data["format_version"]) != _FORMAT_VERSION:
+            raise ValueError(f"unsupported trace format version in {path}")
+        catalog_cfg = json.loads(str(data["catalog_config"]))
+        trace_cfg = json.loads(str(data["trace_config"]))
+        noise = NameNoiseModel(**trace_cfg.pop("noise"))
+        catalog = MusicCatalog(CatalogConfig(**catalog_cfg))
+
+        trace = object.__new__(GnutellaShareTrace)
+        trace.catalog = catalog
+        trace.config = GnutellaTraceConfig(noise=noise, **trace_cfg)
+        trace.peer_offsets = data["peer_offsets"]
+        trace.song_ids = data["song_ids"]
+        trace.name_ids = data["name_ids"]
+        interner = StringInterner()
+        for s in data["names"].tolist():
+            interner.intern(str(s))
+        trace.names = interner
+        trace.peer_of_instance = np.repeat(
+            np.arange(trace.config.n_peers, dtype=np.int64),
+            np.diff(trace.peer_offsets),
+        )
+    return trace
+
+
+def save_workload(workload: QueryWorkload, path: str | Path) -> None:
+    """Write a query workload to ``path`` (.npz)."""
+    path = Path(path)
+    bursts = np.asarray(
+        [(b.vocab_rank, b.start_s, b.end_s, b.n_queries) for b in workload.bursts],
+        dtype=np.float64,
+    ).reshape(-1, 4)
+    np.savez_compressed(
+        path,
+        format_version=np.int64(_FORMAT_VERSION),
+        kind="query-workload",
+        catalog_config=_config_json(workload.catalog.config),
+        workload_config=_config_json(workload.config),
+        timestamps=workload.timestamps,
+        term_offsets=workload.term_offsets,
+        term_ids=workload.term_ids,
+        is_burst=workload.is_burst,
+        vocab_lexicon_ids=workload.vocab_lexicon_ids,
+        bursts=bursts,
+    )
+
+
+def load_workload(path: str | Path) -> QueryWorkload:
+    """Read a query workload written by :func:`save_workload`."""
+    with np.load(Path(path), allow_pickle=True) as data:
+        if str(data["kind"]) != "query-workload":
+            raise ValueError(f"{path} is not a saved query workload")
+        if int(data["format_version"]) != _FORMAT_VERSION:
+            raise ValueError(f"unsupported workload format version in {path}")
+        catalog = MusicCatalog(CatalogConfig(**json.loads(str(data["catalog_config"]))))
+        cfg = QueryWorkloadConfig(**json.loads(str(data["workload_config"])))
+
+        wl = object.__new__(QueryWorkload)
+        wl.catalog = catalog
+        wl.config = cfg
+        wl.timestamps = data["timestamps"]
+        wl.term_offsets = data["term_offsets"]
+        wl.term_ids = data["term_ids"]
+        wl.is_burst = data["is_burst"]
+        wl.vocab_lexicon_ids = data["vocab_lexicon_ids"]
+        wl.vocab_words = [catalog.lexicon.word(int(i)) for i in wl.vocab_lexicon_ids]
+        wl.bursts = [
+            BurstEvent(int(r), float(s), float(e), int(n))
+            for r, s, e, n in data["bursts"]
+        ]
+    return wl

@@ -1,0 +1,103 @@
+"""Synthetic vocabulary generation.
+
+Every textual artifact in the reproduction — song titles, artist names,
+album names, query strings — is assembled from a shared lexicon of
+pronounceable pseudo-words.  Using one lexicon for both file
+annotations and queries puts their term ids in a single space, which is
+what the mismatch analysis (paper Figs. 5–7) compares.
+
+Words are generated from random syllables and de-duplicated, so a
+lexicon is fully determined by ``(n_words, seed)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import make_rng
+
+__all__ = ["Lexicon"]
+
+_ONSETS = [
+    "b", "br", "c", "ch", "d", "dr", "f", "fl", "g", "gr", "h", "j", "k",
+    "kr", "l", "m", "n", "p", "pr", "qu", "r", "s", "sh", "sl", "st", "t",
+    "th", "tr", "v", "w", "y", "z",
+]
+_NUCLEI = ["a", "e", "i", "o", "u", "ai", "ea", "ee", "io", "oo", "ou"]
+_CODAS = ["", "", "", "l", "m", "n", "r", "s", "t", "ck", "nd", "ng", "rd", "st"]
+
+
+class Lexicon:
+    """A deterministic list of ``n_words`` unique pseudo-words.
+
+    Word ids are their indices; ids are the currency of every analysis
+    hot path.  The word at index ``i`` is stable for fixed
+    ``(n_words, seed)`` regardless of how the lexicon is used.
+    """
+
+    def __init__(self, n_words: int, seed: int = 0) -> None:
+        if n_words <= 0:
+            raise ValueError(f"n_words must be positive, got {n_words}")
+        self.n_words = n_words
+        self.seed = seed
+        self._words = _generate_words(n_words, make_rng(seed))
+        self._index = {w: i for i, w in enumerate(self._words)}
+
+    @property
+    def words(self) -> list[str]:
+        """All words in id order (a copy)."""
+        return list(self._words)
+
+    def word(self, ident: int) -> str:
+        """Word for a given id."""
+        return self._words[ident]
+
+    def word_id(self, word: str) -> int:
+        """Id for a given word (raises ``KeyError`` if absent)."""
+        return self._index[word]
+
+    def __len__(self) -> int:
+        return self.n_words
+
+    def __contains__(self, word: str) -> bool:
+        return word in self._index
+
+    def join(self, ids: np.ndarray, sep: str = " ") -> str:
+        """Join word ids into a phrase."""
+        return sep.join(self._words[int(i)] for i in np.asarray(ids).ravel())
+
+
+def _generate_words(n_words: int, rng: np.random.Generator) -> list[str]:
+    """Generate ``n_words`` unique syllabic words, shortest-first bias."""
+    words: list[str] = []
+    seen: set[str] = set()
+    # Draw in batches; collisions become rare once words lengthen.
+    syllables_low, syllables_high = 2, 4
+    while len(words) < n_words:
+        batch = max(1024, n_words - len(words))
+        n_syll = rng.integers(syllables_low, syllables_high + 1, size=batch)
+        onset = rng.integers(0, len(_ONSETS), size=(batch, syllables_high))
+        nucleus = rng.integers(0, len(_NUCLEI), size=(batch, syllables_high))
+        coda = rng.integers(0, len(_CODAS), size=(batch, syllables_high))
+        for row in range(batch):
+            k = int(n_syll[row])
+            word = "".join(
+                _ONSETS[onset[row, j]] + _NUCLEI[nucleus[row, j]] + _CODAS[coda[row, j]]
+                for j in range(k)
+            )
+            if word not in seen:
+                seen.add(word)
+                words.append(word)
+                if len(words) == n_words:
+                    break
+        # If the syllable space is nearly exhausted, lengthen words so
+        # the loop always terminates.
+        if len(words) < n_words and len(seen) > 0.5 * _space_size(syllables_high):
+            syllables_low += 1
+            syllables_high += 1
+    return words
+
+
+def _space_size(max_syllables: int) -> int:
+    per_syllable = len(_ONSETS) * len(_NUCLEI) * len(_CODAS)
+    return per_syllable**max_syllables

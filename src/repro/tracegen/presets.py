@@ -1,0 +1,80 @@
+"""Named parameter presets.
+
+``*_APRIL_2007`` / ``ITUNES_SPRING_2007`` reproduce the paper's full
+measurement scale; ``*_DEFAULT`` are ~20-100x reductions used by the
+test suite and benchmark harness so the whole pipeline runs in minutes.
+The generators are scale-free in every *shape* statistic the paper
+reports (singleton fractions, Zipf exponents, Jaccard levels), which
+the two-scale tests in ``tests/tracegen`` verify.
+"""
+
+from __future__ import annotations
+
+from repro.tracegen.catalog import CatalogConfig
+from repro.tracegen.gnutella_trace import GnutellaTraceConfig
+from repro.tracegen.itunes_trace import ITunesTraceConfig
+from repro.tracegen.query_trace import QueryWorkloadConfig
+
+__all__ = [
+    "CATALOG_DEFAULT",
+    "CATALOG_FULL",
+    "CATALOG_ITUNES",
+    "GNUTELLA_DEFAULT",
+    "GNUTELLA_APRIL_2007",
+    "ITUNES_DEFAULT",
+    "ITUNES_SPRING_2007",
+    "QUERIES_DEFAULT",
+    "QUERIES_WEEK_APRIL_2007",
+]
+
+#: Catalog scaled for laptop runs (the default everywhere).  The
+#: song-population / instance-count ratio (~0.56) and the CRP noise
+#: parameters were calibrated jointly against the paper's §III-A
+#: statistics; see tests/tracegen/test_calibration.py.
+CATALOG_DEFAULT = CatalogConfig()
+
+#: Catalog sized so the Gnutella full-scale trace (12M instances)
+#: keeps the calibrated song/instance ratio and reaches ~8M uniques.
+CATALOG_FULL = CatalogConfig(
+    n_songs=6_700_000,
+    n_artists=500_000,
+    n_genres=1_500,
+    lexicon_size=600_000,
+)
+
+#: iTunes runs over its own catalog: a far larger song universe with a
+#: steeper popularity exponent than the Gnutella default, calibrated
+#: against the paper's Fig. 4 per-field unique/singleton fractions
+#: (observed unique songs ~0.3x instances, ~26k artists with over half
+#: on a single client, ~1.3k genres).
+CATALOG_ITUNES = CatalogConfig(
+    n_songs=800_000,
+    n_artists=60_000,
+    n_genres=650,
+    lexicon_size=100_000,
+    popularity_exponent=1.0,
+    seed=3,
+)
+
+GNUTELLA_DEFAULT = GnutellaTraceConfig()
+
+#: April 2007 crawl scale: 37,572 peers, ~12M object instances.
+GNUTELLA_APRIL_2007 = GnutellaTraceConfig(
+    n_peers=37_572,
+    mean_library_size=320.0,
+)
+
+ITUNES_DEFAULT = ITunesTraceConfig()
+
+#: The campus DAAP trace: 239 users, ~534k objects.
+ITUNES_SPRING_2007 = ITunesTraceConfig(
+    n_users=239,
+    mean_library_size=2_233.0,
+)
+
+QUERIES_DEFAULT = QueryWorkloadConfig()
+
+#: One-week Phex capture scale: ~2.5M queries.
+QUERIES_WEEK_APRIL_2007 = QueryWorkloadConfig(
+    n_queries=2_500_000,
+)

@@ -1,0 +1,93 @@
+"""Small statistical helpers shared by the analysis and core layers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "ccdf",
+    "fraction_at_most",
+    "fraction_at_least",
+    "gini",
+    "bincount_counts",
+    "lorenz_curve",
+    "ragged_arange",
+]
+
+
+def ragged_arange(lengths: np.ndarray) -> np.ndarray:
+    """Concatenation of ``arange(l)`` for each ``l`` in ``lengths``.
+
+    Zero-length segments are naturally skipped.  This is the workhorse
+    for CSR gather operations throughout the analyses.
+    """
+    lengths = np.asarray(lengths, dtype=np.int64)
+    if np.any(lengths < 0):
+        raise ValueError("segment lengths must be non-negative")
+    total = int(lengths.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    starts = np.cumsum(lengths) - lengths
+    return np.arange(total, dtype=np.int64) - np.repeat(starts, lengths)
+
+
+def ccdf(values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Empirical complementary CDF of ``values``.
+
+    Returns ``(x, p)`` where ``p[i] = P(V >= x[i])`` over the distinct
+    sorted values — the standard presentation for heavy-tail plots.
+    """
+    values = np.asarray(values)
+    if values.size == 0:
+        return np.array([]), np.array([])
+    x, counts = np.unique(values, return_counts=True)
+    # P(V >= x) = 1 - P(V < x) = (total - cumulative strictly below) / total
+    below = np.concatenate(([0], np.cumsum(counts)[:-1]))
+    p = (values.size - below) / values.size
+    return x, p
+
+
+def fraction_at_most(values: np.ndarray, threshold: float) -> float:
+    """Fraction of entries with value <= ``threshold``."""
+    values = np.asarray(values)
+    if values.size == 0:
+        raise ValueError("fraction of an empty sample is undefined")
+    return float(np.count_nonzero(values <= threshold) / values.size)
+
+
+def fraction_at_least(values: np.ndarray, threshold: float) -> float:
+    """Fraction of entries with value >= ``threshold``."""
+    values = np.asarray(values)
+    if values.size == 0:
+        raise ValueError("fraction of an empty sample is undefined")
+    return float(np.count_nonzero(values >= threshold) / values.size)
+
+
+def bincount_counts(ids: np.ndarray, minlength: int = 0) -> np.ndarray:
+    """Occurrence count per id for a non-negative integer id array."""
+    ids = np.asarray(ids)
+    if ids.size and ids.min() < 0:
+        raise ValueError("ids must be non-negative")
+    return np.bincount(ids, minlength=minlength)
+
+
+def lorenz_curve(values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Lorenz curve ``(population share, mass share)`` of ``values``."""
+    values = np.sort(np.asarray(values, dtype=np.float64))
+    if values.size == 0:
+        return np.array([0.0]), np.array([0.0])
+    cum = np.cumsum(values)
+    total = cum[-1]
+    if total == 0:
+        raise ValueError("Lorenz curve undefined for all-zero values")
+    x = np.arange(1, values.size + 1) / values.size
+    y = cum / total
+    return np.concatenate(([0.0], x)), np.concatenate(([0.0], y))
+
+
+def gini(values: np.ndarray) -> float:
+    """Gini coefficient — a one-number skewness summary used in reports."""
+    x, y = lorenz_curve(values)
+    # Trapezoidal area under the Lorenz curve.
+    area = np.trapezoid(y, x)
+    return float(1.0 - 2.0 * area)

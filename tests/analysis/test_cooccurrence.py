@@ -1,0 +1,89 @@
+"""Tests for repro.analysis.cooccurrence."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.cooccurrence import cooccurrence_stats, pair_counts
+
+
+def csr(groups: list[list[int]]) -> tuple[np.ndarray, np.ndarray]:
+    offsets = np.concatenate([[0], np.cumsum([len(g) for g in groups])])
+    return offsets.astype(np.int64), np.array(
+        [t for g in groups for t in g], dtype=np.int64
+    )
+
+
+class TestPairCounts:
+    def test_basic(self):
+        offsets, ids = csr([[1, 2], [1, 2, 3]])
+        counts = pair_counts(offsets, ids)
+        assert counts[(1, 2)] == 2
+        assert counts[(1, 3)] == 1
+        assert counts[(2, 3)] == 1
+
+    def test_duplicates_within_group_once(self):
+        offsets, ids = csr([[4, 4, 5]])
+        counts = pair_counts(offsets, ids)
+        assert counts == {(4, 5): 1}
+
+    def test_singleton_groups_contribute_nothing(self):
+        offsets, ids = csr([[1], [2], [3]])
+        assert pair_counts(offsets, ids) == {}
+
+    def test_max_group_truncates(self):
+        offsets, ids = csr([list(range(10))])
+        small = pair_counts(offsets, ids, max_group=3)
+        assert len(small) == 3  # C(3,2)
+
+    def test_validation(self):
+        offsets, ids = csr([[1, 2]])
+        with pytest.raises(ValueError, match="max_group"):
+            pair_counts(offsets, ids, max_group=1)
+
+
+class TestCooccurrenceStats:
+    def test_perfect_pairing_high_pmi(self):
+        # Terms 0 and 1 always appear together among many other groups.
+        groups = [[0, 1]] * 5 + [[i, i + 100] for i in range(2, 30)]
+        offsets, ids = csr(groups)
+        stats = cooccurrence_stats(offsets, ids, top_k=1)
+        assert stats.top_pairs[0][0] == (0, 1)
+        assert stats.mean_top_pmi > 1.0
+
+    def test_independent_terms_low_pmi(self, rng):
+        # Random 2-term groups over a small vocab: co-occurrence matches
+        # the independence baseline, PMI ~ 0.
+        groups = [list(rng.integers(0, 20, size=2)) for _ in range(4_000)]
+        offsets, ids = csr(groups)
+        stats = cooccurrence_stats(offsets, ids, top_k=20)
+        assert abs(stats.mean_top_pmi) < 0.6
+
+    def test_names_more_structured_than_queries(self, small_content, small_workload):
+        """Title terms co-occur by construction; query terms are
+        near-independent draws — the structural reason multi-term
+        queries rarely match whole files."""
+        name_stats = cooccurrence_stats(
+            small_content.term_index.name_offsets,
+            small_content.term_index.term_ids,
+        )
+        query_stats = cooccurrence_stats(
+            small_workload.term_offsets, small_workload.term_ids
+        )
+        assert name_stats.mean_top_pmi > query_stats.mean_top_pmi + 0.5
+
+    def test_empty_corpus_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            cooccurrence_stats(np.array([0]), np.array([], dtype=np.int64))
+
+    def test_no_pairs(self):
+        offsets, ids = csr([[1], [2]])
+        stats = cooccurrence_stats(offsets, ids)
+        assert stats.n_distinct_pairs == 0
+        assert np.isnan(stats.mean_top_pmi)
+
+    def test_validation(self):
+        offsets, ids = csr([[1, 2]])
+        with pytest.raises(ValueError, match="top_k"):
+            cooccurrence_stats(offsets, ids, top_k=0)

@@ -1,0 +1,73 @@
+"""Tests for repro.analysis.jaccard."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.jaccard import jaccard, jaccard_against, jaccard_timeline
+
+sets = st.sets(st.integers(0, 30), max_size=20)
+
+
+class TestJaccard:
+    def test_identical(self):
+        assert jaccard({1, 2}, {1, 2}) == 1.0
+
+    def test_disjoint(self):
+        assert jaccard({1}, {2}) == 0.0
+
+    def test_partial(self):
+        assert jaccard({1, 2, 3}, {2, 3, 4}) == pytest.approx(0.5)
+
+    def test_both_empty_is_one(self):
+        assert jaccard(set(), set()) == 1.0
+
+    def test_one_empty_is_zero(self):
+        assert jaccard({1}, set()) == 0.0
+
+    @given(sets, sets)
+    @settings(max_examples=60, deadline=None)
+    def test_bounds_and_symmetry(self, a, b):
+        j = jaccard(a, b)
+        assert 0.0 <= j <= 1.0
+        assert j == jaccard(b, a)
+
+    @given(sets)
+    @settings(max_examples=30, deadline=None)
+    def test_self_similarity(self, a):
+        assert jaccard(a, a) == 1.0
+
+    @given(sets, sets)
+    @settings(max_examples=40, deadline=None)
+    def test_subset_formula(self, a, b):
+        if a and a <= b:
+            assert jaccard(a, b) == pytest.approx(len(a) / len(b))
+
+
+class TestTimeline:
+    def test_nan_prefix(self):
+        tl = jaccard_timeline([{1}, {1}, {2}])
+        assert np.isnan(tl[0])
+        assert tl[1] == 1.0
+        assert tl[2] == 0.0
+
+    def test_lag(self):
+        tl = jaccard_timeline([{1}, {2}, {1}], lag=2)
+        assert np.isnan(tl[0]) and np.isnan(tl[1])
+        assert tl[2] == 1.0
+
+    def test_bad_lag_raises(self):
+        with pytest.raises(ValueError, match="lag"):
+            jaccard_timeline([{1}], lag=0)
+
+    def test_length(self):
+        assert jaccard_timeline([{1}] * 7).shape == (7,)
+
+
+class TestAgainst:
+    def test_against_reference(self):
+        out = jaccard_against([{1, 2}, {3}], {1, 2})
+        np.testing.assert_allclose(out, [1.0, 0.0])

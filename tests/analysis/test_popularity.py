@@ -1,0 +1,107 @@
+"""Tests for repro.analysis.popularity."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.popularity import (
+    clients_per_value,
+    occurrences_per_value,
+    popular_by_threshold,
+    top_k_set,
+)
+
+
+class TestClientsPerValue:
+    def test_basic(self):
+        values = np.array([0, 0, 1, 1, 1])
+        holders = np.array([0, 0, 0, 1, 2])
+        np.testing.assert_array_equal(clients_per_value(values, holders), [1, 3])
+
+    def test_duplicate_holdings_counted_once(self):
+        values = np.array([5, 5, 5])
+        holders = np.array([2, 2, 2])
+        counts = clients_per_value(values, holders)
+        assert counts[5] == 1
+
+    def test_n_values_padding(self):
+        counts = clients_per_value(np.array([0]), np.array([0]), n_values=4)
+        np.testing.assert_array_equal(counts, [1, 0, 0, 0])
+
+    def test_empty(self):
+        assert clients_per_value(np.array([]), np.array([]), n_values=3).sum() == 0
+
+    def test_misaligned_raises(self):
+        with pytest.raises(ValueError, match="aligned"):
+            clients_per_value(np.array([1]), np.array([1, 2]))
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            clients_per_value(np.array([-1]), np.array([0]))
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 20), st.integers(0, 10)),
+            min_size=1,
+            max_size=300,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_matches_python_reference(self, pairs):
+        values = np.array([p[0] for p in pairs])
+        holders = np.array([p[1] for p in pairs])
+        counts = clients_per_value(values, holders)
+        ref: dict[int, set[int]] = {}
+        for v, h in pairs:
+            ref.setdefault(v, set()).add(h)
+        for v, hs in ref.items():
+            assert counts[v] == len(hs)
+
+
+class TestOccurrences:
+    def test_counts_multiplicity(self):
+        np.testing.assert_array_equal(
+            occurrences_per_value(np.array([1, 1, 0])), [1, 2]
+        )
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            occurrences_per_value(np.array([-2]))
+
+
+class TestTopK:
+    def test_picks_highest(self):
+        counts = np.array([5, 1, 9, 3])
+        assert top_k_set(counts, 2) == {2, 0}
+
+    def test_zero_counts_excluded(self):
+        counts = np.array([0, 0, 3])
+        assert top_k_set(counts, 5) == {2}
+
+    def test_k_zero(self):
+        assert top_k_set(np.array([1, 2]), 0) == set()
+
+    def test_deterministic_ties(self):
+        counts = np.array([2, 2, 2, 2])
+        assert top_k_set(counts, 2) == {0, 1}  # ties broken by id
+
+    def test_k_larger_than_array(self):
+        assert top_k_set(np.array([1, 2]), 10) == {0, 1}
+
+    def test_negative_k_raises(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            top_k_set(np.array([1]), -1)
+
+    def test_empty_counts(self):
+        assert top_k_set(np.array([]), 3) == set()
+
+
+class TestThreshold:
+    def test_threshold(self):
+        assert popular_by_threshold(np.array([1, 5, 10]), 5) == {1, 2}
+
+    def test_threshold_none_qualify(self):
+        assert popular_by_threshold(np.array([1, 2]), 100) == set()

@@ -1,0 +1,62 @@
+"""Tests for repro.analysis.replication."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.replication import (
+    ReplicationSummary,
+    replication_table,
+    summarize_replication,
+)
+
+
+class TestSummarize:
+    def test_crafted_counts(self):
+        counts = np.array([1, 1, 1, 2, 5, 0, 0])
+        s = summarize_replication(counts, n_peers=10_000)
+        assert s.n_objects == 5
+        assert s.n_instances == 10
+        assert s.singleton_fraction == pytest.approx(0.6)
+        assert s.mean_replicas == pytest.approx(2.0)
+        assert s.max_replicas == 5
+        # 0.1% of 10,000 peers = 10 -> every object is below.
+        assert s.below_0p1pct == 1.0
+        assert s.at_least_20_peers == 0.0
+        assert s.rare_fraction() == 1.0
+
+    def test_heavily_replicated(self):
+        counts = np.array([25, 30, 1])
+        s = summarize_replication(counts, n_peers=100)
+        assert s.at_least_20_peers == pytest.approx(2 / 3)
+
+    def test_zero_counts_dropped(self):
+        a = summarize_replication(np.array([0, 3, 0, 1]), 100)
+        b = summarize_replication(np.array([3, 1]), 100)
+        assert a == b
+
+    def test_all_zero_raises(self):
+        with pytest.raises(ValueError, match="no replicated"):
+            summarize_replication(np.zeros(4), 10)
+
+    def test_bad_peers_raises(self):
+        with pytest.raises(ValueError, match="n_peers"):
+            summarize_replication(np.array([1]), 0)
+
+
+class TestReplicationTable:
+    def test_monotone_in_ratio(self):
+        counts = np.random.default_rng(0).integers(1, 50, size=500)
+        rows = replication_table(counts, n_peers=100_000)
+        fracs = [f for _, f in rows]
+        assert fracs == sorted(fracs)
+
+    def test_ratios_ascending(self):
+        rows = replication_table(np.array([1, 2, 3]), n_peers=1_000_000)
+        ratios = [r for r, _ in rows]
+        assert ratios == sorted(ratios)
+
+    def test_all_singletons_all_below(self):
+        rows = replication_table(np.ones(100), n_peers=1_000_000)
+        assert all(f == 1.0 for _, f in rows)

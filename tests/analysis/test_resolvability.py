@@ -1,0 +1,61 @@
+"""Tests for repro.analysis.resolvability."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.resolvability import measure_resolvability
+
+
+@pytest.fixture(scope="module")
+def report(small_workload, small_content):
+    return measure_resolvability(small_workload, small_content, n_samples=500, seed=1)
+
+
+class TestResolvability:
+    def test_shapes(self, report):
+        assert report.result_counts.shape == (500,)
+        assert report.peer_counts.shape == (500,)
+        assert report.n_queries == 500
+
+    def test_fractions_consistent(self, report):
+        assert 0.0 <= report.unresolvable_fraction <= report.rare_fraction <= 1.0
+
+    def test_peers_bounded_by_results(self, report):
+        assert np.all(report.peer_counts <= report.result_counts)
+
+    def test_zero_results_means_zero_peers(self, report):
+        zero = report.result_counts == 0
+        assert np.all(report.peer_counts[zero] == 0)
+
+    def test_most_queries_rare(self, report):
+        """The workload's mismatch makes almost every query rare even
+        with global knowledge — the §VI argument from the query side."""
+        assert report.rare_fraction > 0.6
+
+    def test_quantiles_monotone(self, report):
+        assert report.quantile(0.5) <= report.quantile(0.9)
+        assert report.median_results == report.quantile(0.5)
+
+    def test_deterministic(self, small_workload, small_content):
+        a = measure_resolvability(small_workload, small_content, n_samples=100, seed=3)
+        b = measure_resolvability(small_workload, small_content, n_samples=100, seed=3)
+        np.testing.assert_array_equal(a.result_counts, b.result_counts)
+
+    def test_threshold_controls_rare(self, small_workload, small_content):
+        strict = measure_resolvability(
+            small_workload, small_content, n_samples=300, rare_threshold=100, seed=2
+        )
+        lax = measure_resolvability(
+            small_workload, small_content, n_samples=300, rare_threshold=2, seed=2
+        )
+        assert strict.rare_fraction >= lax.rare_fraction
+
+    def test_validation(self, small_workload, small_content):
+        with pytest.raises(ValueError, match="n_samples"):
+            measure_resolvability(small_workload, small_content, n_samples=0)
+        with pytest.raises(ValueError, match="rare_threshold"):
+            measure_resolvability(
+                small_workload, small_content, n_samples=10, rare_threshold=0
+            )

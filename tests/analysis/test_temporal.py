@@ -1,0 +1,135 @@
+"""Tests for repro.analysis.temporal."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.temporal import (
+    IntervalCounts,
+    detect_transient_terms,
+    interval_term_counts,
+    popular_sets,
+    popular_sets_cumulative,
+)
+
+
+def make_stream(events: list[tuple[float, list[int]]], n_terms: int, interval_s: float,
+                duration_s: float) -> IntervalCounts:
+    """Build IntervalCounts from (timestamp, terms) events."""
+    ts = np.array([e[0] for e in events])
+    lengths = [len(e[1]) for e in events]
+    offsets = np.concatenate([[0], np.cumsum(lengths)])
+    ids = np.array([t for e in events for t in e[1]], dtype=np.int64)
+    return interval_term_counts(
+        ts, offsets, ids, n_terms=n_terms, interval_s=interval_s, duration_s=duration_s
+    )
+
+
+class TestIntervalTermCounts:
+    def test_exact_bucketing(self):
+        ic = make_stream(
+            [(0.5, [0]), (1.5, [1, 1]), (2.5, [0, 2])],
+            n_terms=3, interval_s=1.0, duration_s=3.0,
+        )
+        expected = np.array([[1, 0, 0], [0, 2, 0], [1, 0, 1]])
+        np.testing.assert_array_equal(ic.counts, expected)
+
+    def test_boundary_timestamp_clamped(self):
+        ic = make_stream([(2.999, [0])], n_terms=1, interval_s=1.0, duration_s=3.0)
+        assert ic.counts[2, 0] == 1
+
+    def test_duration_inferred(self):
+        ic = make_stream([(5.0, [0])], n_terms=1, interval_s=2.0, duration_s=None)
+        assert ic.n_intervals == 3
+
+    def test_totals(self):
+        ic = make_stream(
+            [(0.5, [0, 1]), (1.5, [1])], n_terms=2, interval_s=1.0, duration_s=2.0
+        )
+        np.testing.assert_array_equal(ic.totals(), [1, 2])
+
+    def test_bad_interval_raises(self):
+        with pytest.raises(ValueError, match="interval_s"):
+            make_stream([(0.0, [0])], n_terms=1, interval_s=0.0, duration_s=1.0)
+
+
+class TestPopularSets:
+    def test_per_interval_topk(self):
+        ic = make_stream(
+            [(0.5, [0, 0, 1]), (1.5, [2, 2, 1])],
+            n_terms=3, interval_s=1.0, duration_s=2.0,
+        )
+        sets_ = popular_sets(ic, k=1)
+        assert sets_ == [{0}, {2}]
+
+    def test_cumulative_requires_observation(self):
+        # Term 0 dominates cumulative counts but is absent in interval 1,
+        # so it cannot be in Q*_1.
+        ic = make_stream(
+            [(0.5, [0] * 10), (1.5, [1])],
+            n_terms=2, interval_s=1.0, duration_s=2.0,
+        )
+        sets_ = popular_sets_cumulative(ic, k=2)
+        assert 0 in sets_[0]
+        assert 0 not in sets_[1]
+        assert 1 in sets_[1]
+
+    def test_cumulative_stability_on_persistent_core(self):
+        # A fixed popular core observed every interval => Jaccard 1.
+        events = []
+        for t in range(10):
+            events.append((t + 0.5, [0, 1, 2]))
+        ic = make_stream(events, n_terms=3, interval_s=1.0, duration_s=10.0)
+        sets_ = popular_sets_cumulative(ic, k=3)
+        assert all(s == {0, 1, 2} for s in sets_)
+
+
+class TestTransientDetection:
+    def _counts_with_burst(self, burst_at: int, n_intervals: int = 20) -> IntervalCounts:
+        counts = np.ones((n_intervals, 4), dtype=np.int64)  # steady background
+        counts[burst_at, 3] = 50  # term 3 bursts
+        return IntervalCounts(60.0, counts)
+
+    def test_burst_flagged(self):
+        ic = self._counts_with_burst(10)
+        report = detect_transient_terms(ic, train_fraction=0.2, z_threshold=4.0)
+        idx = 10 - report.first_eval_interval
+        assert 3 in report.per_interval[idx]
+
+    def test_steady_terms_not_flagged(self):
+        ic = IntervalCounts(60.0, np.full((20, 4), 7, dtype=np.int64))
+        report = detect_transient_terms(ic, train_fraction=0.2)
+        assert report.counts.sum() == 0
+
+    def test_burst_in_training_not_evaluated(self):
+        ic = self._counts_with_burst(0)
+        report = detect_transient_terms(ic, train_fraction=0.2)
+        assert all(3 not in s for s in report.per_interval)
+
+    def test_min_count_suppresses_tiny_bursts(self):
+        counts = np.zeros((20, 2), dtype=np.int64)
+        counts[:, 0] = 10
+        counts[15, 1] = 3  # deviation but below min_count=5
+        report = detect_transient_terms(IntervalCounts(60.0, counts), min_count=5)
+        assert all(1 not in s for s in report.per_interval)
+
+    def test_report_stats(self):
+        ic = self._counts_with_burst(10)
+        report = detect_transient_terms(ic, train_fraction=0.2, z_threshold=4.0)
+        assert report.mean() >= 0
+        assert report.variance() >= 0
+        assert 3 in report.all_flagged()
+        np.testing.assert_array_equal(
+            report.counts, [len(s) for s in report.per_interval]
+        )
+
+    def test_bad_train_fraction(self):
+        ic = self._counts_with_burst(10)
+        with pytest.raises(ValueError, match="train_fraction"):
+            detect_transient_terms(ic, train_fraction=1.0)
+
+    def test_bad_min_count(self):
+        ic = self._counts_with_burst(10)
+        with pytest.raises(ValueError, match="min_count"):
+            detect_transient_terms(ic, min_count=0)

@@ -1,0 +1,142 @@
+"""Tests for repro.analysis.tokenize."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.tokenize import (
+    TermIndex,
+    sanitize_name,
+    strip_extension,
+    tokenize_name,
+)
+
+
+class TestStripExtension:
+    def test_known_extension_dropped(self):
+        assert strip_extension("song.mp3") == "song"
+        assert strip_extension("Movie.AVI".lower()) == "movie"
+
+    def test_unknown_extension_kept(self):
+        assert strip_extension("archive.zip") == "archive.zip"
+
+    def test_no_extension(self):
+        assert strip_extension("plain name") == "plain name"
+
+    def test_dotfile_not_stripped(self):
+        assert strip_extension(".mp3") == ".mp3"
+
+
+class TestTokenizeName:
+    def test_basic(self):
+        assert tokenize_name("Artist - Song Title.mp3") == ["artist", "song", "title"]
+
+    def test_case_insensitive(self):
+        assert tokenize_name("ARTIST.mp3") == tokenize_name("artist.mp3")
+
+    def test_punctuation_separators(self):
+        assert tokenize_name("a_b-c.d (e).mp3") == ["a", "b", "c", "d", "e"]
+
+    def test_numbers_kept(self):
+        assert tokenize_name("Track 01.mp3") == ["track", "01"]
+
+    def test_empty_tokens_dropped(self):
+        assert tokenize_name("--..__!!.mp3") == []
+
+    def test_extension_not_a_term(self):
+        assert "mp3" not in tokenize_name("Artist - Song.mp3")
+
+    @given(st.text(max_size=40))
+    @settings(max_examples=60, deadline=None)
+    def test_terms_are_lowercase_alnum(self, name):
+        for t in tokenize_name(name):
+            assert t
+            assert t == t.lower()
+            assert all(c.isalnum() for c in t)
+
+    @given(st.text(max_size=40))
+    @settings(max_examples=60, deadline=None)
+    def test_tokenize_of_sanitized_is_same(self, name):
+        # Sanitization must never change the term decomposition.
+        assert tokenize_name(sanitize_name(name)) == tokenize_name(name)
+
+
+class TestSanitizeName:
+    def test_lowercases(self):
+        assert sanitize_name("ARTIST Song.mp3") == "artist song.mp3"
+
+    def test_removes_dashes(self):
+        assert sanitize_name("Artist - Song.mp3") == "artist song.mp3"
+
+    def test_keeps_extension(self):
+        assert sanitize_name("A B.MP3").endswith(".mp3")
+
+    def test_case_punct_variants_collide(self):
+        variants = [
+            "Aaron Neville - I Don't Know Much.mp3",
+            "aaron neville - i don't know much.MP3",
+            "Aaron_Neville_I_Don't_Know_Much.mp3",
+        ]
+        assert len({sanitize_name(v) for v in variants}) == 1
+
+    def test_term_level_variants_stay_distinct(self):
+        a = sanitize_name("Aaron Neville - I Don't Know Much.mp3")
+        b = sanitize_name("Aaron Neville ft. Linda Ronstadt - I Don't Know Much.mp3")
+        assert a != b
+
+    def test_idempotent(self):
+        s = sanitize_name("Some - WEIRD__name (live).mp3")
+        assert sanitize_name(s) == s
+
+    @given(st.text(max_size=40))
+    @settings(max_examples=60, deadline=None)
+    def test_idempotence_property(self, name):
+        once = sanitize_name(name)
+        assert sanitize_name(once) == once
+
+
+class TestTermIndex:
+    @pytest.fixture(scope="class")
+    def index(self):
+        return TermIndex(
+            ["Artist - One.mp3", "Artist - Two.mp3", "other thing", "!!!"]
+        )
+
+    def test_shapes(self, index):
+        assert index.n_names == 4
+        assert index.name_offsets[-1] == index.term_ids.size
+
+    def test_name_terms(self, index):
+        terms = [index.term_string(int(t)) for t in index.name_terms(0)]
+        assert terms == ["artist", "one"]
+
+    def test_empty_name_has_no_terms(self, index):
+        assert index.name_terms(3).size == 0
+
+    def test_shared_terms_have_same_id(self, index):
+        a = set(index.name_terms(0).tolist())
+        b = set(index.name_terms(1).tolist())
+        assert index.terms.get("artist") in (a & b)
+
+    def test_expand_matches_loop(self, index):
+        name_ids = np.array([0, 2, 2, 1])
+        terms, origin = index.expand(name_ids)
+        expected_terms = []
+        expected_origin = []
+        for i, nid in enumerate(name_ids):
+            for t in index.name_terms(int(nid)):
+                expected_terms.append(int(t))
+                expected_origin.append(i)
+        np.testing.assert_array_equal(terms, expected_terms)
+        np.testing.assert_array_equal(origin, expected_origin)
+
+    def test_expand_handles_empty_names(self, index):
+        terms, origin = index.expand(np.array([3, 3]))
+        assert terms.size == 0 and origin.size == 0
+
+    def test_expand_empty_input(self, index):
+        terms, origin = index.expand(np.array([], dtype=np.int64))
+        assert terms.size == 0 and origin.size == 0

@@ -1,0 +1,62 @@
+"""Tests for repro.analysis.validation — calibration certificates."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.validation import (
+    CalibrationCheck,
+    check_gnutella_trace,
+    check_itunes_trace,
+)
+
+
+class TestCalibrationCheck:
+    def test_pass_inside_band(self):
+        chk = CalibrationCheck("x", 0.5, 0.52, 0.4, 0.6)
+        assert chk.passed
+
+    def test_fail_outside_band(self):
+        chk = CalibrationCheck("x", 0.5, 0.9, 0.4, 0.6)
+        assert not chk.passed
+
+    def test_boundaries_inclusive(self):
+        assert CalibrationCheck("x", 0.5, 0.4, 0.4, 0.6).passed
+        assert CalibrationCheck("x", 0.5, 0.6, 0.4, 0.6).passed
+
+    def test_row_format(self):
+        row = CalibrationCheck("x", 0.5, 0.52, 0.4, 0.6).as_row()
+        assert row[0] == "x" and row[-1] == "PASS"
+
+
+class TestGnutellaCertificate:
+    def test_default_trace_passes_all(self, default_bundle):
+        checks = check_gnutella_trace(default_bundle.trace)
+        failing = [c.name for c in checks if not c.passed]
+        assert not failing, f"calibration drift in: {failing}"
+
+    def test_covers_the_design_targets(self, default_bundle):
+        names = {c.name for c in check_gnutella_trace(default_bundle.trace)}
+        assert "singleton fraction" in names
+        assert "unique/instances" in names
+        assert "objects on >= 20 peers" in names
+
+
+class TestITunesCertificate:
+    @pytest.fixture(scope="class")
+    def itunes(self):
+        from repro.tracegen import presets
+        from repro.tracegen.catalog import MusicCatalog
+        from repro.tracegen.itunes_trace import ITunesShareTrace
+
+        return ITunesShareTrace(
+            MusicCatalog(presets.CATALOG_ITUNES), presets.ITUNES_DEFAULT
+        )
+
+    def test_default_trace_passes_all(self, itunes):
+        checks = check_itunes_trace(itunes)
+        failing = [c.name for c in checks if not c.passed]
+        assert not failing, f"calibration drift in: {failing}"
+
+    def test_eight_targets(self, itunes):
+        assert len(check_itunes_trace(itunes)) == 8

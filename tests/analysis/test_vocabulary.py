@@ -1,0 +1,104 @@
+"""Tests for repro.analysis.vocabulary — Heaps'-law growth."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.vocabulary import (
+    fit_heaps,
+    new_term_rate,
+    vocabulary_growth,
+)
+from repro.utils.rng import make_rng
+from repro.utils.zipf import ZipfDistribution
+
+
+class TestVocabularyGrowth:
+    def test_monotone_nondecreasing(self):
+        stream = make_rng(0).integers(0, 100, size=5_000)
+        n, v = vocabulary_growth(stream)
+        assert np.all(np.diff(v) >= 0)
+
+    def test_bounded_by_n_and_support(self):
+        stream = make_rng(0).integers(0, 50, size=2_000)
+        n, v = vocabulary_growth(stream)
+        assert np.all(v <= n)
+        assert v[-1] <= 50
+
+    def test_exact_on_crafted_stream(self):
+        stream = np.array([7, 7, 8, 7, 9, 9])
+        n, v = vocabulary_growth(stream, n_points=6)
+        full = dict(zip(n.tolist(), v.tolist()))
+        assert full[1] == 1
+        assert full[6] == 3
+
+    def test_all_distinct_is_linear(self):
+        stream = np.arange(1_000)
+        n, v = vocabulary_growth(stream)
+        np.testing.assert_array_equal(n, v)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="empty"):
+            vocabulary_growth(np.array([]))
+        with pytest.raises(ValueError, match="two sample points"):
+            vocabulary_growth(np.array([1]), n_points=1)
+
+
+class TestHeapsFit:
+    def test_recovers_exact_power_law(self):
+        n = np.logspace(1, 5, 30)
+        v = 3.0 * n**0.6
+        fit = fit_heaps(n, v)
+        assert fit.beta == pytest.approx(0.6, abs=0.01)
+        assert fit.k == pytest.approx(3.0, rel=0.05)
+        assert fit.r_squared > 0.999
+
+    def test_zipf_stream_is_heaps_like(self, rng):
+        """Zipf-sampled streams grow sub-linearly with good log-log fit."""
+        dist = ZipfDistribution(200_000, 1.0)
+        stream = dist.sample(300_000, rng)
+        n, v = vocabulary_growth(stream)
+        fit = fit_heaps(n, v)
+        assert 0.3 < fit.beta < 1.0
+        assert fit.r_squared > 0.97
+
+    def test_predict(self):
+        fit = fit_heaps(np.array([10.0, 100.0, 1000.0]), np.array([5.0, 25.0, 125.0]))
+        assert fit.predict(100.0) == pytest.approx(25.0, rel=0.05)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="three points"):
+            fit_heaps(np.array([1.0, 2.0]), np.array([1.0, 2.0]))
+        with pytest.raises(ValueError, match="positive"):
+            fit_heaps(np.array([1.0, 2.0, 0.0]), np.array([1.0, 2.0, 3.0]))
+
+
+class TestNewTermRate:
+    def test_crafted_stream(self):
+        stream = np.array([1, 2, 1, 3, 3, 4])
+        times = np.array([0.0, 5.0, 12.0, 13.0, 21.0, 29.0])
+        rate = new_term_rate(stream, times, interval_s=10.0)
+        # New terms: 1@0, 2@5 (bin 0), 3@13 (bin 1), 4@29 (bin 2).
+        np.testing.assert_array_equal(rate, [2, 1, 1])
+
+    def test_total_equals_distinct(self, small_workload):
+        lengths = np.diff(small_workload.term_offsets)
+        times = np.repeat(small_workload.timestamps, lengths)
+        rate = new_term_rate(small_workload.term_ids, times, interval_s=3600.0)
+        assert rate.sum() == np.unique(small_workload.term_ids).size
+
+    def test_rate_decays_over_time(self, small_workload):
+        """Most of the vocabulary appears early — Heaps' law in action."""
+        lengths = np.diff(small_workload.term_offsets)
+        times = np.repeat(small_workload.timestamps, lengths)
+        rate = new_term_rate(small_workload.term_ids, times, interval_s=6 * 3600.0)
+        first_day = rate[:4].sum()
+        last_day = rate[-4:].sum()
+        assert first_day > 3 * max(1, last_day)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="aligned"):
+            new_term_rate(np.array([1]), np.array([1.0, 2.0]), interval_s=1.0)
+        with pytest.raises(ValueError, match="interval_s"):
+            new_term_rate(np.array([1]), np.array([1.0]), interval_s=0.0)

@@ -1,0 +1,52 @@
+"""Tests for repro.analysis.workload_stats."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.workload_stats import queries_per_interval, summarize_workload
+
+
+class TestQueriesPerInterval:
+    def test_total_preserved(self, small_workload):
+        rates = queries_per_interval(small_workload, interval_s=3_600.0)
+        assert rates.sum() == small_workload.n_queries
+
+    def test_interval_count(self, small_workload):
+        rates = queries_per_interval(small_workload, interval_s=86_400.0)
+        expected = int(np.ceil(small_workload.config.duration_s / 86_400.0))
+        assert rates.size == expected
+
+    def test_invalid_interval(self, small_workload):
+        with pytest.raises(ValueError, match="interval_s"):
+            queries_per_interval(small_workload, interval_s=0.0)
+
+
+class TestSummarizeWorkload:
+    @pytest.fixture(scope="class")
+    def summary(self, small_workload):
+        return summarize_workload(small_workload)
+
+    def test_counts_consistent(self, summary, small_workload):
+        assert summary.n_queries == small_workload.n_queries
+        assert summary.terms_per_query_hist.sum() == small_workload.n_queries
+
+    def test_rates_consistent(self, summary):
+        assert summary.peak_rate_per_hour >= summary.mean_rate_per_hour > 0
+
+    def test_terms_per_query_in_config_range(self, summary, small_workload):
+        cfg = small_workload.config
+        assert cfg.min_terms <= summary.terms_per_query_mean <= cfg.max_terms
+
+    def test_term_concentration(self, summary):
+        """Zipf workload: the top-10 terms carry a sizable share."""
+        assert 0.02 < summary.top10_term_share < 0.9
+
+    def test_zipf_exponent_near_config(self, summary, small_workload):
+        assert summary.query_term_zipf_exponent == pytest.approx(
+            small_workload.config.query_exponent, abs=0.3
+        )
+
+    def test_distinct_terms_bounded(self, summary, small_workload):
+        assert 0 < summary.distinct_terms <= small_workload.config.vocab_size

@@ -1,0 +1,39 @@
+"""Tests for repro.analysis.zipf_fit."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.zipf_fit import fit_zipf
+from repro.utils.rng import make_rng
+from repro.utils.zipf import ZipfDistribution
+
+
+class TestFitZipf:
+    def test_recovers_synthetic(self):
+        d = ZipfDistribution(400, 1.1)
+        counts = np.bincount(d.sample(200_000, make_rng(0)), minlength=400)
+        fit = fit_zipf(counts)
+        assert fit.exponent == pytest.approx(1.1, abs=0.12)
+        assert fit.ks < 0.05
+        assert fit.is_heavy_tailed()
+
+    def test_uniform_not_heavy_tailed(self):
+        counts = np.full(200, 50)
+        fit = fit_zipf(counts)
+        assert not fit.is_heavy_tailed()
+
+    def test_head_share(self):
+        counts = np.concatenate([[1000], np.ones(99)])
+        fit = fit_zipf(counts)
+        assert fit.head_share_top1pct == pytest.approx(1000 / 1099)
+
+    def test_counts_metadata(self):
+        fit = fit_zipf(np.array([4, 2, 0, 1]))
+        assert fit.n_items == 3
+        assert fit.n_observations == 7
+
+    def test_too_few_items_raises(self):
+        with pytest.raises(ValueError, match="two items"):
+            fit_zipf(np.array([10]))

@@ -1,0 +1,106 @@
+"""Shared fixtures.
+
+Expensive artifacts (the calibrated default traces, the content index)
+are session-scoped: they are deterministic pure functions of their
+seeds, so sharing them across tests changes nothing but runtime.
+Small fixtures are built fresh where mutation matters.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.experiment import TraceBundle, build_trace_bundle
+from repro.overlay.content import SharedContentIndex
+from repro.overlay.topology import Topology, flat_random, two_tier_gnutella
+from repro.tracegen.catalog import CatalogConfig, MusicCatalog
+from repro.tracegen.gnutella_trace import GnutellaShareTrace, GnutellaTraceConfig
+from repro.tracegen.itunes_trace import ITunesShareTrace, ITunesTraceConfig
+from repro.tracegen.query_trace import QueryWorkload, QueryWorkloadConfig
+
+
+@pytest.fixture(scope="session")
+def small_catalog() -> MusicCatalog:
+    """A fast catalog for unit tests (not calibration-accurate)."""
+    return MusicCatalog(
+        CatalogConfig(n_songs=3_000, n_artists=300, lexicon_size=4_000, seed=11)
+    )
+
+
+@pytest.fixture(scope="session")
+def small_trace(small_catalog: MusicCatalog) -> GnutellaShareTrace:
+    """A small Gnutella trace (~6k instances)."""
+    return GnutellaShareTrace(
+        small_catalog,
+        GnutellaTraceConfig(n_peers=120, mean_library_size=50.0, seed=11),
+    )
+
+
+@pytest.fixture(scope="session")
+def small_itunes(small_catalog: MusicCatalog) -> ITunesShareTrace:
+    """A small iTunes trace."""
+    return ITunesShareTrace(
+        small_catalog, ITunesTraceConfig(n_users=40, mean_library_size=120.0, seed=11)
+    )
+
+
+@pytest.fixture(scope="session")
+def small_workload(small_trace: GnutellaShareTrace) -> QueryWorkload:
+    """A small query workload over the small trace's terms."""
+    from repro.tracegen.query_trace import file_term_peer_counts
+
+    counts = file_term_peer_counts(small_trace)
+    return QueryWorkload(
+        small_trace.catalog,
+        counts,
+        QueryWorkloadConfig(
+            n_queries=20_000, vocab_size=800, popular_file_pool=400, seed=11
+        ),
+    )
+
+
+@pytest.fixture(scope="session")
+def default_bundle() -> TraceBundle:
+    """The calibrated default bundle (the paper-scale-shape traces)."""
+    return build_trace_bundle()
+
+
+@pytest.fixture(scope="session")
+def default_content(default_bundle: TraceBundle) -> SharedContentIndex:
+    """Content index over the default trace."""
+    return SharedContentIndex(default_bundle.trace)
+
+
+@pytest.fixture(scope="session")
+def small_content(small_trace: GnutellaShareTrace) -> SharedContentIndex:
+    """Content index over the small trace."""
+    return SharedContentIndex(small_trace)
+
+
+@pytest.fixture(scope="session")
+def ring_topology() -> Topology:
+    """A 12-node cycle — hand-checkable flooding distances."""
+    import networkx as nx
+
+    from repro.overlay.topology import from_networkx
+
+    return from_networkx(nx.cycle_graph(12))
+
+
+@pytest.fixture(scope="session")
+def small_two_tier() -> Topology:
+    """A 600-node two-tier topology."""
+    return two_tier_gnutella(600, seed=5)
+
+
+@pytest.fixture(scope="session")
+def small_flat() -> Topology:
+    """A 300-node flat random topology."""
+    return flat_random(300, 6.0, seed=5)
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    """A fresh deterministic generator per test."""
+    return np.random.default_rng(1234)

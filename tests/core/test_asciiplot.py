@@ -1,0 +1,73 @@
+"""Tests for repro.core.asciiplot."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.asciiplot import line_chart, scatter_loglog
+
+
+class TestScatterLogLog:
+    def test_renders_points(self):
+        out = scatter_loglog(np.array([1, 10, 100]), np.array([100, 10, 1]))
+        assert out.count("*") == 3
+
+    def test_title_included(self):
+        out = scatter_loglog(np.array([1, 10]), np.array([1, 10]), title="T")
+        assert out.startswith("T\n")
+
+    def test_nonpositive_dropped(self):
+        out = scatter_loglog(np.array([0, 1, 10]), np.array([5, 5, 5]))
+        assert out.count("*") <= 2
+
+    def test_all_nonpositive_raises(self):
+        with pytest.raises(ValueError, match="log axes"):
+            scatter_loglog(np.array([0.0]), np.array([1.0]))
+
+    def test_misaligned_raises(self):
+        with pytest.raises(ValueError, match="aligned"):
+            scatter_loglog(np.array([1.0]), np.array([1.0, 2.0]))
+
+    def test_tiny_area_raises(self):
+        with pytest.raises(ValueError, match="too small"):
+            scatter_loglog(np.array([1.0]), np.array([1.0]), width=2)
+
+    def test_width_respected(self):
+        out = scatter_loglog(
+            np.array([1, 10]), np.array([1, 10]), width=30, height=6
+        )
+        body = [l for l in out.splitlines() if "|" in l]
+        assert len(body) == 6
+        assert all(len(l) <= 10 + 30 for l in body)
+
+    def test_monotone_series_fills_diagonal(self):
+        x = np.logspace(0, 3, 20)
+        out = scatter_loglog(x, x, width=20, height=10)
+        rows = [l.split("|", 1)[1] for l in out.splitlines() if "|" in l]
+        # Top row has a rightmost marker, bottom row a leftmost one.
+        assert rows[0].rstrip().endswith("*")
+        assert rows[-1].lstrip().startswith("*")
+
+
+class TestLineChart:
+    def test_legend_and_markers(self):
+        x = np.arange(5)
+        out = line_chart({"a": (x, x), "b": (x, x[::-1])})
+        assert "* = a" in out and "o = b" in out
+        assert "*" in out and "o" in out
+
+    def test_nan_points_skipped(self):
+        x = np.array([0.0, 1.0, 2.0])
+        y = np.array([0.0, np.nan, 2.0])
+        out = line_chart({"s": (x, y)})
+        grid = "\n".join(l for l in out.splitlines() if "|" in l)
+        assert grid.count("*") == 2
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError, match="one series"):
+            line_chart({})
+
+    def test_axis_labels_present(self):
+        out = line_chart({"s": (np.array([0, 10]), np.array([0.0, 1.0]))})
+        assert "1" in out and "0" in out

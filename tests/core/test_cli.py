@@ -1,0 +1,78 @@
+"""Tests for the repro CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bogus"])
+
+    def test_fig_number_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig", "9"])
+
+
+class TestCommands:
+    def test_gen_and_analyze(self, tmp_path, capsys):
+        out = tmp_path / "trace.npz"
+        assert main(["gen-trace", "--out", str(out), "--peers", "150", "--seed", "4"]) == 0
+        assert out.exists()
+        assert main(["analyze", str(out)]) == 0
+        captured = capsys.readouterr().out
+        assert "singleton fraction" in captured
+        assert "150" in captured
+
+    def test_gen_trace_deterministic(self, tmp_path):
+        import numpy as np
+
+        from repro.tracegen.io import load_trace
+
+        a, b = tmp_path / "a.npz", tmp_path / "b.npz"
+        main(["gen-trace", "--out", str(a), "--peers", "100", "--seed", "7"])
+        main(["gen-trace", "--out", str(b), "--peers", "100", "--seed", "7"])
+        ta, tb = load_trace(a), load_trace(b)
+        np.testing.assert_array_equal(ta.name_ids, tb.name_ids)
+
+    def test_fig8(self, capsys):
+        assert main(["fig", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "FIG8" in out and "Zipf" in out
+
+    def test_reach(self, capsys):
+        assert main(["reach"]) == 0
+        out = capsys.readouterr().out
+        assert "T-REACH" in out and "82.95%" in out
+
+    def test_hybrid(self, capsys):
+        assert main(["hybrid"]) == 0
+        out = capsys.readouterr().out
+        assert "hybrid / DHT cost ratio" in out
+
+    def test_resolvability(self, capsys):
+        assert main(["resolvability"]) == 0
+        out = capsys.readouterr().out
+        assert "rare queries" in out
+
+    def test_calibrate_passes(self, capsys):
+        assert main(["calibrate"]) == 0
+        out = capsys.readouterr().out
+        assert "PASS" in out and "FAIL" not in out
+
+    def test_export(self, tmp_path, capsys):
+        assert main(["export", "--out", str(tmp_path / "res")]) == 0
+        assert (tmp_path / "res" / "manifest.json").exists()
+        assert (tmp_path / "res" / "fig8_flood_success.csv").exists()
+
+    def test_workload(self, capsys):
+        assert main(["workload"]) == 0
+        out = capsys.readouterr().out
+        assert "terms per query" in out and "Zipf exponent" in out

@@ -1,0 +1,75 @@
+"""Tests for repro.core.experiment and repro.core.reporting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.experiment import (
+    Fig8TopologyConfig,
+    build_fig8_topology,
+    build_trace_bundle,
+)
+from repro.core.reporting import format_percent, format_series, format_table
+
+
+class TestFig8Topology:
+    def test_default_size(self):
+        topo = build_fig8_topology(Fig8TopologyConfig(n_nodes=1_000))
+        assert topo.n_nodes == 1_000
+
+    def test_ultrapeer_mask(self):
+        cfg = Fig8TopologyConfig(n_nodes=1_000)
+        topo = build_fig8_topology(cfg)
+        assert topo.forwards.sum() == int(1_000 * cfg.ultrapeer_fraction)
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError, match="two nodes"):
+            Fig8TopologyConfig(n_nodes=1)
+
+    def test_deterministic(self):
+        cfg = Fig8TopologyConfig(n_nodes=500)
+        a = build_fig8_topology(cfg)
+        b = build_fig8_topology(cfg)
+        np.testing.assert_array_equal(a.neighbors, b.neighbors)
+
+
+class TestTraceBundle:
+    def test_bundle_consistent(self, default_bundle):
+        b = default_bundle
+        assert b.trace.catalog is b.catalog
+        assert b.workload.catalog is b.catalog
+        assert b.file_term_counts.shape == (b.catalog.config.lexicon_size,)
+
+    def test_build_is_deterministic(self, default_bundle):
+        again = build_trace_bundle()
+        np.testing.assert_array_equal(
+            again.trace.name_ids, default_bundle.trace.name_ids
+        )
+        np.testing.assert_array_equal(
+            again.workload.term_ids, default_bundle.workload.term_ids
+        )
+
+
+class TestReporting:
+    def test_format_percent(self):
+        assert format_percent(0.0532) == "5.32%"
+        assert format_percent(1.0, digits=0) == "100%"
+
+    def test_format_table_aligned(self):
+        out = format_table(["a", "bb"], [["x", "y"], ["long", "z"]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(l) for l in lines)) <= 2  # header sep may differ
+
+    def test_format_table_title(self):
+        out = format_table(["h"], [["v"]], title="T")
+        assert out.startswith("T\n")
+
+    def test_format_table_bad_row(self):
+        with pytest.raises(ValueError, match="row width"):
+            format_table(["a"], [["x", "y"]])
+
+    def test_format_series(self):
+        out = format_series([1, 2], [0.5, 0.25], x_label="ttl", y_label="s")
+        assert "ttl" in out and "0.5000" in out

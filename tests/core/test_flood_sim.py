@@ -1,0 +1,145 @@
+"""Tests for repro.core.flood_sim — the Fig. 8 experiment."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.core.experiment import Fig8TopologyConfig
+from repro.core.flood_sim import (
+    FloodSimConfig,
+    PlacementSpec,
+    run_fig8,
+    run_flood_success,
+    zipf_replica_counts,
+)
+from repro.core.flood_sim import _success_profile
+from repro.overlay.topology import from_networkx
+
+
+class TestZipfReplicaCounts:
+    def test_mean_calibrated(self):
+        counts = zipf_replica_counts(5_000, 1.0, 5.0)
+        assert counts.mean() == pytest.approx(5.0, abs=0.05)
+
+    def test_floor_of_one(self):
+        counts = zipf_replica_counts(1_000, 1.2, 3.0)
+        assert counts.min() == 1
+
+    def test_head_heavier_than_tail(self):
+        counts = zipf_replica_counts(1_000, 1.0, 5.0)
+        assert counts[0] > 50 * counts[-1]
+
+    def test_median_is_one(self):
+        # The paper's point: mean 5 but the median object has 1 replica.
+        counts = zipf_replica_counts(10_000, 1.0, 5.0)
+        assert np.median(counts) == 1.0
+
+
+class TestSuccessProfileExact:
+    def test_on_cycle(self, ring_topology):
+        """Hand-checkable: replica at node 0 of a 12-cycle."""
+        profile = _success_profile(ring_topology, np.array([0]), 3)
+        # Eligible sources: the 11 non-replica nodes.  Nodes within
+        # distance t of node 0: 2 per side.
+        np.testing.assert_allclose(profile, [2 / 11, 4 / 11, 6 / 11])
+
+    def test_two_replicas_union(self, ring_topology):
+        profile = _success_profile(ring_topology, np.array([0, 6]), 2)
+        # Distance <= 2 of {0, 6} covers nodes 1,2,4,5,7,8,10,11 = 8 of 10.
+        assert profile[1] == pytest.approx(8 / 10)
+
+    def test_all_nodes_replicas_raises(self, ring_topology):
+        with pytest.raises(ValueError, match="sources"):
+            _success_profile(ring_topology, np.arange(12), 2)
+
+
+@pytest.fixture(scope="module")
+def fig8_result():
+    return run_fig8(FloodSimConfig(n_eval_objects=40))
+
+
+class TestFig8Claims:
+    def test_all_curves_present(self, fig8_result):
+        labels = {c.label for c in fig8_result.curves}
+        assert "Zipf" in labels
+        for r in (1, 4, 9, 19, 39):
+            assert f"Uniform ({r} replicas)" in labels
+
+    def test_curves_monotone_in_ttl(self, fig8_result):
+        for c in fig8_result.curves:
+            assert np.all(np.diff(c.success) >= -1e-12)
+
+    def test_uniform_ordered_by_replicas(self, fig8_result):
+        at_ttl3 = [
+            fig8_result.curve(f"Uniform ({r} replicas)").success[2]
+            for r in (1, 4, 9, 19, 39)
+        ]
+        assert at_ttl3 == sorted(at_ttl3)
+
+    def test_zipf_tracks_lowest_uniform(self, fig8_result):
+        """The paper's headline: Zipf behaves like the lowest replication."""
+        zipf = fig8_result.curve("Zipf").success
+        low = fig8_result.curve("Uniform (1 replicas)").success
+        mid = fig8_result.curve("Uniform (9 replicas)").success
+        # At TTL 3-4 the Zipf curve stays near the 1-replica curve and
+        # well under the 9-replica curve.
+        assert zipf[2] < mid[2] * 0.6
+        assert zipf[2] < 4 * max(low[2], 1e-6)
+
+    def test_zipf_ttl3_success_near_5pct(self, fig8_result):
+        # Paper §V: "a success rate of about 5%" at TTL 3.
+        assert 0.02 <= fig8_result.curve("Zipf").success[2] <= 0.10
+
+    def test_uniform_0p1pct_ttl3_near_62pct(self, fig8_result):
+        # 39 replicas / 40,000 nodes ~ 0.1%; paper predicts ~62% at TTL 3.
+        s = fig8_result.curve("Uniform (39 replicas)").success[2]
+        assert 0.45 <= s <= 0.8
+
+    def test_missing_curve_raises(self, fig8_result):
+        with pytest.raises(KeyError):
+            fig8_result.curve("nope")
+
+
+class TestQueryModels:
+    @pytest.fixture(scope="class")
+    def topo(self):
+        from repro.core.experiment import build_fig8_topology
+
+        return build_fig8_topology(Fig8TopologyConfig(n_nodes=8_000))
+
+    def test_popularity_queries_beat_uniform(self, topo):
+        base = run_flood_success(
+            topo, PlacementSpec(query_model="uniform"), n_eval_objects=60, seed=1
+        )
+        pop = run_flood_success(
+            topo, PlacementSpec(query_model="popularity"), n_eval_objects=60, seed=1
+        )
+        assert pop.success[3] > base.success[3]
+
+    def test_mismatch_kills_popularity_advantage(self, topo):
+        """The paper's core position, as an ablation: Zipf *query*
+        popularity doesn't help when it's mismatched with placement."""
+        pop = run_flood_success(
+            topo, PlacementSpec(query_model="popularity"), n_eval_objects=60, seed=1
+        )
+        mis = run_flood_success(
+            topo, PlacementSpec(query_model="mismatch"), n_eval_objects=60, seed=1
+        )
+        assert mis.success[3] < pop.success[3]
+
+    def test_invalid_spec(self):
+        with pytest.raises(ValueError, match="placement kind"):
+            PlacementSpec(kind="nope")
+        with pytest.raises(ValueError, match="query model"):
+            PlacementSpec(query_model="nope")
+        with pytest.raises(ValueError, match="replica"):
+            PlacementSpec(kind="uniform", n_replicas=0)
+        with pytest.raises(ValueError, match="universe"):
+            PlacementSpec(kind="zipf", universe=1)
+
+    def test_labels(self):
+        assert PlacementSpec(kind="uniform", n_replicas=4).label() == "Uniform (4 replicas)"
+        assert PlacementSpec().label() == "Zipf"
+        assert "mismatch" in PlacementSpec(query_model="mismatch").label()

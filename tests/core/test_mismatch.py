@@ -1,0 +1,85 @@
+"""Tests for repro.core.mismatch — Figs. 5, 6, 7 claims."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.mismatch import MismatchConfig, run_mismatch_analysis
+
+
+@pytest.fixture(scope="module")
+def report(default_bundle, default_content):
+    return run_mismatch_analysis(default_bundle, content=default_content)
+
+
+class TestFig5Transients:
+    def test_low_mean(self, report):
+        """Paper: mean number of transiently popular terms was low (< 10)."""
+        for counts in report.transient_counts.values():
+            assert counts.mean() < 10
+
+    def test_significant_variance(self, report):
+        """Paper: significant variance across evaluation intervals."""
+        primary = report.transient_counts[report.config.primary_interval_s]
+        assert primary.var() > 0.2
+        assert primary.max() >= 3
+
+    def test_all_interval_lengths_present(self, report):
+        assert set(report.transient_counts) == set(report.config.intervals_s)
+
+    def test_detection_recovers_injected_bursts(self, default_bundle, report):
+        truth = {b.vocab_rank for b in default_bundle.workload.bursts}
+        flagged = report.transient_reports[report.config.primary_interval_s].all_flagged()
+        recall = len(flagged & truth) / len(truth)
+        assert recall > 0.7
+
+
+class TestFig6Stability:
+    def test_stability_over_90pct_after_warmup(self, report):
+        assert report.stability_after_warmup > 0.9
+
+    def test_early_intervals_unstable(self, report):
+        """Paper footnote: the first intervals show significant variance."""
+        series = report.stability_timeline
+        early = np.nanmean(series[1:4])
+        late = report.stability_after_warmup
+        assert early < late
+
+    def test_first_interval_nan(self, report):
+        assert np.isnan(report.stability_timeline[0])
+
+
+class TestFig7Mismatch:
+    def test_similarity_below_20pct_everywhere(self, report):
+        assert report.max_file_similarity < 0.20
+
+    def test_overall_similarity_matches_paper_level(self, report):
+        """Paper: ~15% overall similarity (we calibrate to 0.10-0.18)."""
+        assert 0.05 <= report.overall_similarity <= 0.20
+
+    def test_similarity_timeline_full_length(self, report):
+        assert report.file_similarity_timeline.size == report.stability_timeline.size
+
+
+class TestConfigValidation:
+    def test_primary_must_be_member(self):
+        with pytest.raises(ValueError, match="primary_interval_s"):
+            MismatchConfig(intervals_s=(600.0,), primary_interval_s=3600.0)
+
+    def test_top_k_positive(self):
+        with pytest.raises(ValueError, match="top_k"):
+            MismatchConfig(top_k=0)
+
+
+class TestCoverage:
+    def test_coverage_timeline_bounds(self, report):
+        c = report.coverage_timeline
+        assert c.shape == report.stability_timeline.shape
+        valid = c[~np.isnan(c)]
+        assert np.all((0.0 <= valid) & (valid <= 1.0))
+
+    def test_some_terms_match_no_file(self, report):
+        """Part of the query vocabulary exists on no file at all —
+        those queries are unresolvable for any search."""
+        assert np.nanmean(report.coverage_timeline) < 1.0

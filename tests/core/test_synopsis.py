@@ -1,0 +1,145 @@
+"""Tests for repro.core.synopsis — the query-centric extension (X-SYN)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.synopsis import PeerSynopses, SynopsisConfig, run_synopsis_experiment
+
+
+class TestPeerSynopses:
+    def test_no_false_negatives(self):
+        syn = PeerSynopses(10, capacity=32)
+        ids = np.array([3, 17, 99])
+        syn.add(4, ids)
+        claims = syn.peers_claiming(ids)
+        assert claims[4]
+
+    def test_other_peers_do_not_claim(self):
+        syn = PeerSynopses(50, capacity=32)
+        syn.add(4, np.array([1, 2, 3]))
+        claims = syn.peers_claiming(np.array([1, 2, 3]))
+        # Bloom FPs possible but should be rare at this fill.
+        assert claims.sum() <= 3
+
+    def test_clear(self):
+        syn = PeerSynopses(5, capacity=16)
+        syn.add(0, np.array([1]))
+        syn.clear()
+        assert not syn.peers_claiming(np.array([1])).any()
+
+    def test_partial_match_rejected(self):
+        syn = PeerSynopses(5, capacity=64)
+        syn.add(0, np.array([1, 2]))
+        assert syn.peers_claiming(np.array([1]))[0]
+        assert not syn.peers_claiming(np.array([1, 777]))[0]
+
+
+@pytest.fixture(scope="module")
+def result(default_bundle, default_content):
+    return run_synopsis_experiment(
+        default_bundle, SynopsisConfig(n_queries=800), content=default_content
+    )
+
+
+class TestPolicyOrdering:
+    def test_query_centric_beats_content_centric(self, result):
+        """The paper's position: selecting synopsis terms by *query*
+        popularity beats selecting by file-term popularity."""
+        assert (
+            result.outcome("static-query").success_rate
+            > result.outcome("content").success_rate
+        )
+
+    def test_synopses_beat_blind_walk(self, result):
+        assert (
+            result.outcome("static-query").success_rate
+            > result.outcome("random").success_rate
+        )
+
+    def test_adaptive_wins_on_transient_queries(self, result):
+        """Ref [9]: adapting to transiently popular terms improves
+        success on exactly those queries."""
+        adaptive = result.outcome("adaptive")
+        static = result.outcome("static-query")
+        assert adaptive.n_transient > 10
+        assert adaptive.success_transient > static.success_transient + 0.05
+
+    def test_adaptive_overall_at_least_static(self, result):
+        assert (
+            result.outcome("adaptive").success_rate
+            >= result.outcome("static-query").success_rate - 0.02
+        )
+
+    def test_successful_policies_use_fewer_messages(self, result):
+        assert (
+            result.outcome("adaptive").mean_messages
+            < result.outcome("random").mean_messages
+        )
+
+    def test_unknown_policy_lookup_raises(self, result):
+        with pytest.raises(KeyError):
+            result.outcome("nope")
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs, match",
+        [
+            (dict(capacity=0), "capacity"),
+            (dict(walk_budget=0), "walk_budget"),
+            (dict(epoch_s=0), "epoch_s"),
+            (dict(decay=1.5), "decay"),
+            (dict(history_prior=-1), "history_prior"),
+            (dict(train_fraction=0.0), "train_fraction"),
+            (dict(policies=("bogus",)), "bogus"),
+        ],
+    )
+    def test_invalid(self, kwargs, match):
+        with pytest.raises(ValueError, match=match):
+            SynopsisConfig(**kwargs)
+
+
+class TestChurn:
+    @pytest.fixture(scope="class")
+    def churned(self, default_bundle, default_content):
+        from repro.overlay.churn import ChurnConfig, ChurnTimeline
+
+        churn = ChurnTimeline(
+            ChurnConfig(
+                n_peers=default_content.n_peers,
+                horizon_s=default_bundle.workload.config.duration_s,
+                seed=5,
+            )
+        )
+        cfg = SynopsisConfig(n_queries=400, policies=("static-query", "adaptive"))
+        base = run_synopsis_experiment(default_bundle, cfg, content=default_content)
+        under_churn = run_synopsis_experiment(
+            default_bundle, cfg, content=default_content, churn=churn
+        )
+        return base, under_churn
+
+    def test_churn_degrades_everyone(self, churned):
+        base, under = churned
+        for policy in ("static-query", "adaptive"):
+            assert under.outcome(policy).success_rate <= base.outcome(policy).success_rate + 0.02
+
+    def test_adaptive_retains_lead_under_churn(self, churned):
+        _, under = churned
+        assert (
+            under.outcome("adaptive").success_rate
+            >= under.outcome("static-query").success_rate
+        )
+
+    def test_churn_peer_count_must_match(self, default_bundle, default_content):
+        from repro.overlay.churn import ChurnConfig, ChurnTimeline
+
+        churn = ChurnTimeline(ChurnConfig(n_peers=10, seed=1))
+        with pytest.raises(ValueError, match="every peer"):
+            run_synopsis_experiment(
+                default_bundle,
+                SynopsisConfig(n_queries=50, policies=("adaptive",)),
+                content=default_content,
+                churn=churn,
+            )

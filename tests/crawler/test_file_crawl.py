@@ -1,0 +1,53 @@
+"""Tests for repro.crawler.file_crawl."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.crawler.file_crawl import crawl_files
+
+
+class TestFileCrawl:
+    def test_full_response_collects_everything(self, small_trace):
+        peers = np.arange(small_trace.n_peers)
+        res = crawl_files(small_trace, peers, p_response=1.0, seed=1)
+        assert res.n_instances == small_trace.n_instances
+        assert res.n_unique_names == small_trace.n_unique_names
+
+    def test_partial_response_subset(self, small_trace):
+        peers = np.arange(small_trace.n_peers)
+        res = crawl_files(small_trace, peers, p_response=0.5, seed=1)
+        assert res.n_instances < small_trace.n_instances
+        assert set(res.crawled_peers.tolist()) <= set(peers.tolist())
+
+    def test_instances_belong_to_crawled_peers(self, small_trace):
+        res = crawl_files(small_trace, np.arange(50), p_response=0.8, seed=2)
+        crawled = set(res.crawled_peers.tolist())
+        assert set(np.unique(res.peer_of_instance).tolist()) <= crawled
+
+    def test_replica_counts_bounded_by_truth(self, small_trace):
+        res = crawl_files(
+            small_trace, np.arange(small_trace.n_peers), p_response=0.7, seed=3
+        )
+        crawled_counts = res.replica_counts()
+        true_counts = small_trace.replica_counts()
+        assert np.all(crawled_counts <= true_counts)
+
+    def test_crawl_preserves_heavy_tail(self, small_trace):
+        """The paper's Zipf findings survive crawl sampling."""
+        from repro.analysis.zipf_fit import fit_zipf
+
+        res = crawl_files(
+            small_trace, np.arange(small_trace.n_peers), p_response=0.8, seed=4
+        )
+        fit = fit_zipf(res.replica_counts())
+        assert fit.exponent > 0.2
+
+    def test_peer_subset_only(self, small_trace):
+        res = crawl_files(small_trace, [0, 1, 2], p_response=1.0, seed=0)
+        np.testing.assert_array_equal(res.crawled_peers, [0, 1, 2])
+
+    def test_invalid_p_response(self, small_trace):
+        with pytest.raises(ValueError, match="p_response"):
+            crawl_files(small_trace, [0], p_response=1.5)

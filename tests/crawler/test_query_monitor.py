@@ -1,0 +1,59 @@
+"""Tests for repro.crawler.query_monitor."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy import stats as sstats
+
+from repro.crawler.query_monitor import monitor_queries
+from repro.overlay.flooding import flood_depths
+
+
+class TestMonitor:
+    def test_capture_rate_matches_ball(self, small_two_tier, small_workload):
+        ttl = 3
+        res = monitor_queries(small_two_tier, small_workload, monitor=0, ttl=ttl, seed=1)
+        depth, _ = flood_depths(small_two_tier, 0, ttl)
+        observable = np.flatnonzero(depth >= 0)
+        forwarding = np.flatnonzero(small_two_tier.forwards)
+        expected = np.isin(forwarding, observable).mean()
+        assert res.capture_rate == pytest.approx(expected, abs=0.02)
+
+    def test_observed_sources_in_ball(self, small_two_tier, small_workload):
+        ttl = 2
+        res = monitor_queries(small_two_tier, small_workload, monitor=5, ttl=ttl, seed=2)
+        depth, _ = flood_depths(small_two_tier, 5, ttl)
+        for qi in res.observed[:200]:
+            assert depth[res.sources[qi]] >= 0
+
+    def test_larger_ttl_captures_more(self, small_two_tier, small_workload):
+        small = monitor_queries(
+            small_two_tier, small_workload, monitor=0, ttl=1, seed=3
+        ).capture_rate
+        large = monitor_queries(
+            small_two_tier, small_workload, monitor=0, ttl=5, seed=3
+        ).capture_rate
+        assert large >= small
+
+    def test_term_rank_correlation_preserved(self, small_two_tier, small_workload):
+        """Monitor sampling is position-biased but term *ranks* survive."""
+        res = monitor_queries(small_two_tier, small_workload, monitor=0, ttl=4, seed=4)
+        if res.observed.size < 500:
+            pytest.skip("sample too small at this topology/ttl")
+        observed = res.observed_term_counts(small_workload)
+        true = np.zeros_like(observed)
+        lengths = np.diff(small_workload.term_offsets)
+        np.add.at(true, small_workload.term_ids, 1)
+        head = np.argsort(true)[::-1][:50]
+        rho = sstats.spearmanr(true[head], observed[head]).statistic
+        assert rho > 0.5
+
+    def test_invalid_ttl(self, small_two_tier, small_workload):
+        with pytest.raises(ValueError, match="ttl"):
+            monitor_queries(small_two_tier, small_workload, ttl=-1)
+
+    def test_deterministic(self, small_two_tier, small_workload):
+        a = monitor_queries(small_two_tier, small_workload, monitor=0, ttl=3, seed=5)
+        b = monitor_queries(small_two_tier, small_workload, monitor=0, ttl=3, seed=5)
+        np.testing.assert_array_equal(a.observed, b.observed)

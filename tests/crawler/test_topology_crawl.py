@@ -1,0 +1,61 @@
+"""Tests for repro.crawler.topology_crawl."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.crawler.topology_crawl import crawl_topology
+from repro.overlay.topology import from_networkx
+
+
+class TestCrawl:
+    def test_full_response_discovers_component(self, small_flat):
+        res = crawl_topology(small_flat, p_response=1.0, seed=1)
+        g = small_flat.to_networkx()
+        comp = nx.node_connected_component(g, 0)
+        assert set(res.discovered.tolist()) == comp
+        assert res.response_rate == 1.0
+
+    def test_partial_response_discovers_less(self, small_flat):
+        full = crawl_topology(small_flat, p_response=1.0, seed=1).n_discovered
+        partial = crawl_topology(small_flat, p_response=0.3, seed=1).n_discovered
+        assert partial <= full
+
+    def test_responded_subset_of_discovered(self, small_flat):
+        res = crawl_topology(small_flat, p_response=0.7, seed=2)
+        assert set(res.responded.tolist()) <= set(res.discovered.tolist())
+
+    def test_multiple_bootstraps(self, small_flat):
+        res = crawl_topology(small_flat, bootstrap=[0, 50, 100], p_response=1.0, seed=1)
+        assert {0, 50, 100} <= set(res.discovered.tolist())
+
+    def test_disconnected_node_never_found(self):
+        g = nx.Graph()
+        g.add_edges_from([(0, 1), (1, 2)])
+        g.add_node(3)  # isolated
+        topo = from_networkx(g)
+        res = crawl_topology(topo, p_response=1.0, seed=0)
+        assert 3 not in res.discovered
+
+    def test_nonresponding_peer_discovered_but_no_edges(self):
+        # Path 0-1-2; if 1 never answers, 2 is never discovered.
+        g = nx.path_graph(3)
+        topo = from_networkx(g)
+        for seed in range(200):
+            res = crawl_topology(topo, p_response=0.5, seed=seed)
+            if 1 in res.discovered and 1 not in res.responded:
+                assert 2 not in res.discovered
+                break
+        else:  # pragma: no cover
+            pytest.fail("never sampled the target failure pattern")
+
+    def test_invalid_p_response(self, small_flat):
+        with pytest.raises(ValueError, match="p_response"):
+            crawl_topology(small_flat, p_response=0.0)
+
+    def test_deterministic(self, small_flat):
+        a = crawl_topology(small_flat, p_response=0.8, seed=7)
+        b = crawl_topology(small_flat, p_response=0.8, seed=7)
+        np.testing.assert_array_equal(a.discovered, b.discovered)

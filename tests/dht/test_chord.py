@@ -1,0 +1,100 @@
+"""Tests for repro.dht.chord."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dht.chord import ChordRing
+from repro.dht.hashing import RING_SIZE
+from repro.utils.rng import make_rng
+
+
+@pytest.fixture(scope="module")
+def ring() -> ChordRing:
+    return ChordRing(512, seed=3)
+
+
+class TestOwnership:
+    def test_successor_matches_linear_scan(self, ring):
+        rng = make_rng(0)
+        for k in rng.integers(0, RING_SIZE, size=200, dtype=np.uint64):
+            idx = ring.successor_index(int(k))
+            # Linear-scan reference: first node id >= key, else wrap to 0.
+            ge = np.flatnonzero(ring.node_ids >= k)
+            expected = int(ge[0]) if ge.size else 0
+            assert idx == expected
+
+    def test_string_key_ownership_stable(self, ring):
+        assert ring.owner_of("some term") == ring.owner_of("some term")
+
+    def test_node_ids_sorted_unique(self, ring):
+        assert np.all(np.diff(ring.node_ids) > 0)
+        assert ring.node_ids.size == ring.n_nodes
+
+
+class TestRouting:
+    def test_lookup_reaches_owner(self, ring):
+        rng = make_rng(1)
+        for _ in range(100):
+            k = int(rng.integers(0, RING_SIZE, dtype=np.uint64))
+            s = int(rng.integers(0, ring.n_nodes))
+            res = ring.lookup(k, s)
+            assert res.owner == ring.successor_index(k)
+            assert res.path[0] == s
+            assert res.path[-1] == res.owner
+            assert res.hops == len(res.path) - 1
+
+    def test_lookup_from_owner_zero_hops(self, ring):
+        k = int(ring.node_ids[7])  # key exactly at node 7's id
+        res = ring.lookup(k, 7)
+        assert res.owner == 7
+        assert res.hops == 0
+
+    def test_hops_logarithmic(self, ring):
+        mean = ring.mean_lookup_hops(150, seed=2)
+        # 0.5*log2(512) = 4.5; generous band for greedy fingers.
+        assert 2.0 <= mean <= 10.0
+
+    def test_hops_bound_worst_case(self, ring):
+        rng = make_rng(4)
+        for _ in range(50):
+            k = int(rng.integers(0, RING_SIZE, dtype=np.uint64))
+            res = ring.lookup(k, int(rng.integers(0, ring.n_nodes)))
+            assert res.hops <= 2 * int(np.ceil(np.log2(ring.n_nodes))) + 2
+
+    def test_string_lookup(self, ring):
+        res = ring.lookup("hello world", 0)
+        assert res.owner == ring.owner_of("hello world")
+
+    def test_bad_start_raises(self, ring):
+        with pytest.raises(ValueError, match="start"):
+            ring.lookup(0, ring.n_nodes)
+
+
+class TestScaling:
+    def test_hops_grow_slowly_with_n(self):
+        small = ChordRing(64, seed=5).mean_lookup_hops(100, seed=0)
+        large = ChordRing(2048, seed=5).mean_lookup_hops(100, seed=0)
+        assert large > small
+        assert large < 3 * small  # log growth, not linear
+
+    def test_single_node_ring(self):
+        ring = ChordRing(1, seed=0)
+        res = ring.lookup(12345, 0)
+        assert res.owner == 0 and res.hops == 0
+
+    def test_two_node_ring(self):
+        ring = ChordRing(2, seed=0)
+        for k in (0, RING_SIZE // 2, RING_SIZE - 1):
+            res = ring.lookup(k, 0)
+            assert res.owner == ring.successor_index(k)
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError, match="one node"):
+            ChordRing(0)
+
+    def test_deterministic(self):
+        a = ChordRing(100, seed=9)
+        b = ChordRing(100, seed=9)
+        np.testing.assert_array_equal(a.node_ids, b.node_ids)

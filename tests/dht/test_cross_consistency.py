@@ -1,0 +1,68 @@
+"""Cross-DHT property tests: invariants every structured overlay shares."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dht.chord import ChordRing
+from repro.dht.hashing import RING_SIZE
+from repro.dht.kademlia import KademliaNetwork
+from repro.dht.pastry import PastryNetwork
+
+N = 256
+
+
+@pytest.fixture(scope="module")
+def overlays():
+    return {
+        "chord": ChordRing(N, seed=6),
+        "pastry": PastryNetwork(N, seed=6),
+        "kademlia": KademliaNetwork(N, seed=6),
+    }
+
+
+class TestSharedInvariants:
+    @given(
+        key=st.integers(0, RING_SIZE - 1),
+        s1=st.integers(0, N - 1),
+        s2=st.integers(0, N - 1),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_owner_independent_of_start(self, overlays, key, s1, s2):
+        """Routing consistency: any start reaches the same owner."""
+        for net in overlays.values():
+            assert net.lookup(key, s1).owner == net.lookup(key, s2).owner
+
+    @given(key=st.integers(0, RING_SIZE - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_owner_matches_owner_of(self, overlays, key):
+        for net in overlays.values():
+            assert net.lookup(key, 0).owner == net.owner_of(key)
+
+    @given(key=st.integers(0, RING_SIZE - 1), start=st.integers(0, N - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_path_starts_and_ends_correctly(self, overlays, key, start):
+        for net in overlays.values():
+            res = net.lookup(key, start)
+            assert res.path[0] == start
+            assert res.path[-1] == res.owner
+            assert res.hops == len(res.path) - 1
+
+    def test_same_seed_same_node_population(self, overlays):
+        """All three overlays draw ids the same way for a given seed."""
+        chord = overlays["chord"].node_ids
+        pastry = overlays["pastry"].node_ids
+        kad = overlays["kademlia"].node_ids
+        np.testing.assert_array_equal(chord, pastry)
+        np.testing.assert_array_equal(chord, kad)
+
+    def test_owners_agree_where_definitions_coincide(self, overlays):
+        """When a key equals a node id, every overlay's owner is that node."""
+        ids = overlays["chord"].node_ids
+        for i in (0, 31, N - 1):
+            key = int(ids[i])
+            for net in overlays.values():
+                assert net.owner_of(key) == i

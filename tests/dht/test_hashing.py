@@ -1,0 +1,52 @@
+"""Tests for repro.dht.hashing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dht.hashing import RING_SIZE, hash_key, hash_keys, ring_distance
+
+
+class TestHashKey:
+    def test_stable(self):
+        assert hash_key("hello") == hash_key("hello")
+
+    def test_known_range(self):
+        assert 0 <= hash_key("x") < RING_SIZE
+
+    def test_str_and_bytes_agree(self):
+        assert hash_key("abc") == hash_key(b"abc")
+
+    def test_distinct_keys_distinct_hashes(self):
+        # Not guaranteed in general, but these must not collide.
+        keys = [f"key-{i}" for i in range(1_000)]
+        assert len({hash_key(k) for k in keys}) == 1_000
+
+    def test_hash_keys_vectorized(self):
+        keys = ["a", "b", "c"]
+        arr = hash_keys(keys)
+        assert arr.dtype == np.uint64
+        np.testing.assert_array_equal(arr, [hash_key(k) for k in keys])
+
+    @given(st.text(max_size=30))
+    @settings(max_examples=50, deadline=None)
+    def test_range_property(self, key):
+        assert 0 <= hash_key(key) < RING_SIZE
+
+
+class TestRingDistance:
+    def test_zero(self):
+        assert ring_distance(5, 5) == 0
+
+    def test_forward(self):
+        assert ring_distance(1, 4) == 3
+
+    def test_wraparound(self):
+        assert ring_distance(RING_SIZE - 1, 1) == 2
+
+    def test_asymmetric(self):
+        a, b = 10, 20
+        assert ring_distance(a, b) + ring_distance(b, a) == RING_SIZE

@@ -1,0 +1,83 @@
+"""Tests for repro.dht.kademlia."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dht.hashing import RING_SIZE
+from repro.dht.kademlia import KademliaNetwork
+from repro.utils.rng import make_rng
+
+
+@pytest.fixture(scope="module")
+def net() -> KademliaNetwork:
+    return KademliaNetwork(1_024, seed=3)
+
+
+class TestOwnership:
+    def test_owner_is_xor_closest(self, net):
+        rng = make_rng(0)
+        for k in rng.integers(0, RING_SIZE, size=150, dtype=np.uint64):
+            owner = net.owner_of(int(k))
+            dist = np.bitwise_xor(net.node_ids, k)
+            assert owner == int(np.argmin(dist))
+
+    def test_own_id_owned_by_self(self, net):
+        for i in (0, 100, net.n_nodes - 1):
+            assert net.owner_of(int(net.node_ids[i])) == i
+
+    def test_string_keys_stable(self, net):
+        assert net.owner_of("term") == net.owner_of("term")
+
+
+class TestRouting:
+    def test_lookup_reaches_owner(self, net):
+        rng = make_rng(1)
+        for _ in range(100):
+            k = int(rng.integers(0, RING_SIZE, dtype=np.uint64))
+            s = int(rng.integers(0, net.n_nodes))
+            res = net.lookup(k, s)
+            assert res.owner == net.owner_of(k)
+            assert res.path[-1] == res.owner
+            assert res.hops == len(res.path) - 1
+
+    def test_xor_distance_strictly_decreases(self, net):
+        rng = make_rng(2)
+        for _ in range(30):
+            k = int(rng.integers(0, RING_SIZE, dtype=np.uint64))
+            res = net.lookup(k, int(rng.integers(0, net.n_nodes)))
+            dists = [int(net.node_ids[i]) ^ res.key for i in res.path]
+            assert all(a > b for a, b in zip(dists, dists[1:]))
+
+    def test_hops_logarithmic(self, net):
+        mean = net.mean_lookup_hops(200, seed=0)
+        assert 0.3 * np.log2(net.n_nodes) <= mean <= 1.2 * np.log2(net.n_nodes)
+
+    def test_lookup_from_owner_zero_hops(self, net):
+        k = int(net.node_ids[11])
+        assert net.lookup(k, 11).hops == 0
+
+    def test_bad_start(self, net):
+        with pytest.raises(ValueError, match="start"):
+            net.lookup(0, net.n_nodes)
+
+
+class TestScaling:
+    def test_log_growth(self):
+        small = KademliaNetwork(128, seed=4).mean_lookup_hops(100, seed=0)
+        large = KademliaNetwork(4_096, seed=4).mean_lookup_hops(100, seed=0)
+        assert small < large < small + 7
+
+    def test_single_node(self):
+        net = KademliaNetwork(1, seed=0)
+        assert net.lookup(99, 0).hops == 0
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError, match="one node"):
+            KademliaNetwork(0)
+
+    def test_deterministic(self):
+        a = KademliaNetwork(64, seed=8)
+        b = KademliaNetwork(64, seed=8)
+        np.testing.assert_array_equal(a.node_ids, b.node_ids)

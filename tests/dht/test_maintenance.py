@@ -1,0 +1,71 @@
+"""Tests for repro.dht.maintenance."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dht.maintenance import (
+    chord_maintenance,
+    churn_event_rate,
+    unstructured_maintenance,
+)
+from repro.overlay.churn import ChurnConfig, ChurnTimeline
+
+
+class TestChurnEventRate:
+    def test_steady_state_identity(self):
+        timeline = ChurnTimeline(ChurnConfig(n_peers=1_000, seed=1))
+        joins, leaves = churn_event_rate(timeline)
+        assert joins == leaves
+        cfg = timeline.config
+        expected = (
+            cfg.n_peers * cfg.expected_availability / cfg.mean_session_s * 3_600.0
+        )
+        assert joins == pytest.approx(expected)
+
+    def test_shorter_sessions_more_churn(self):
+        short = ChurnTimeline(ChurnConfig(n_peers=500, mean_session_s=600.0, seed=1))
+        long = ChurnTimeline(ChurnConfig(n_peers=500, mean_session_s=7_200.0, seed=1))
+        assert churn_event_rate(short)[0] > churn_event_rate(long)[0]
+
+
+class TestCostModels:
+    def test_chord_join_cost_logsquared(self):
+        small = chord_maintenance(100, joins_per_hour=10, leaves_per_hour=0)
+        large = chord_maintenance(10_000, joins_per_hour=10, leaves_per_hour=0)
+        ratio = large.join_messages_per_hour / small.join_messages_per_hour
+        assert 3.0 < ratio < 5.0  # (log2 1e4 / log2 1e2)^2 = 4
+
+    def test_unstructured_join_cost_flat_in_n(self):
+        small = unstructured_maintenance(100, joins_per_hour=10, leaves_per_hour=0)
+        large = unstructured_maintenance(10_000, joins_per_hour=10, leaves_per_hour=0)
+        assert small.join_messages_per_hour == large.join_messages_per_hour
+
+    def test_periodic_scales_with_nodes(self):
+        a = chord_maintenance(1_000, 0, 0)
+        b = chord_maintenance(2_000, 0, 0)
+        assert b.periodic_messages_per_hour > 1.8 * a.periodic_messages_per_hour
+
+    def test_totals_additive(self):
+        r = chord_maintenance(500, joins_per_hour=5, leaves_per_hour=7)
+        assert r.total_per_hour == pytest.approx(
+            r.join_messages_per_hour
+            + r.leave_messages_per_hour
+            + r.periodic_messages_per_hour
+        )
+
+    def test_per_node(self):
+        r = unstructured_maintenance(100, 0, 0, target_degree=6, ping_period_s=3_600.0)
+        assert r.per_node_per_hour(100) == pytest.approx(6.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="two nodes"):
+            chord_maintenance(1, 0, 0)
+        with pytest.raises(ValueError, match="stabilize_period"):
+            chord_maintenance(10, 0, 0, stabilize_period_s=0)
+        with pytest.raises(ValueError, match="target_degree"):
+            unstructured_maintenance(10, 0, 0, target_degree=0)
+        with pytest.raises(ValueError, match="ping_period"):
+            unstructured_maintenance(10, 0, 0, ping_period_s=0)
+        with pytest.raises(ValueError, match="n_nodes"):
+            chord_maintenance(10, 0, 0).per_node_per_hour(0)

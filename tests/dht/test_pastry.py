@@ -1,0 +1,88 @@
+"""Tests for repro.dht.pastry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dht.hashing import RING_SIZE
+from repro.dht.pastry import N_DIGITS, PastryNetwork
+from repro.utils.rng import make_rng
+
+
+@pytest.fixture(scope="module")
+def net() -> PastryNetwork:
+    return PastryNetwork(1_024, seed=7)
+
+
+class TestOwnership:
+    def test_owner_is_numerically_closest(self, net):
+        rng = make_rng(0)
+        for k in rng.integers(0, RING_SIZE, size=100, dtype=np.uint64):
+            owner = net.owner_of(int(k))
+            dist = np.minimum(
+                (net.node_ids.astype(np.object_) - int(k)) % RING_SIZE,
+                (int(k) - net.node_ids.astype(np.object_)) % RING_SIZE,
+            )
+            assert dist[owner] == dist.min()
+
+    def test_string_keys(self, net):
+        assert net.owner_of("hello") == net.owner_of("hello")
+
+
+class TestRouting:
+    def test_lookup_reaches_owner(self, net):
+        rng = make_rng(1)
+        for _ in range(100):
+            k = int(rng.integers(0, RING_SIZE, dtype=np.uint64))
+            s = int(rng.integers(0, net.n_nodes))
+            res = net.lookup(k, s)
+            assert res.owner == net.owner_of(k)
+            assert res.path[0] == s and res.path[-1] == res.owner
+            assert res.hops == len(res.path) - 1
+
+    def test_lookup_from_owner(self, net):
+        k = int(net.node_ids[3])
+        res = net.lookup(k, 3)
+        assert res.hops == 0
+
+    def test_hops_logarithmic_base16(self, net):
+        mean = net.mean_lookup_hops(200, seed=2)
+        expected = np.log(net.n_nodes) / np.log(16)
+        assert mean == pytest.approx(expected, rel=0.6)
+
+    def test_hops_bounded_by_digits(self, net):
+        rng = make_rng(3)
+        for _ in range(50):
+            res = net.lookup(
+                int(rng.integers(0, RING_SIZE, dtype=np.uint64)),
+                int(rng.integers(0, net.n_nodes)),
+            )
+            assert res.hops <= N_DIGITS + 3
+
+    def test_bad_start(self, net):
+        with pytest.raises(ValueError, match="start"):
+            net.lookup(0, net.n_nodes)
+
+
+class TestScaling:
+    def test_fewer_hops_than_chord(self):
+        """Base-16 prefix routing beats base-2 finger routing."""
+        from repro.dht.chord import ChordRing
+
+        chord = ChordRing(2_000, seed=5).mean_lookup_hops(150, seed=0)
+        pastry = PastryNetwork(2_000, seed=5).mean_lookup_hops(150, seed=0)
+        assert pastry < chord
+
+    def test_single_node(self):
+        net = PastryNetwork(1, seed=0)
+        assert net.lookup(123, 0).hops == 0
+
+    def test_deterministic(self):
+        a = PastryNetwork(64, seed=9)
+        b = PastryNetwork(64, seed=9)
+        np.testing.assert_array_equal(a.node_ids, b.node_ids)
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError, match="one node"):
+            PastryNetwork(0)

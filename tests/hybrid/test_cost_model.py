@@ -1,0 +1,66 @@
+"""Tests for repro.hybrid.cost_model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hybrid.cost_model import StrategyStats, aggregate, predicted_uniform_success
+
+
+class TestAggregate:
+    def test_basic_stats(self):
+        s = aggregate(
+            "flood",
+            successes=np.array([True, False, True, True]),
+            messages=np.array([10.0, 20.0, 30.0, 40.0]),
+        )
+        assert s.success_rate == 0.75
+        assert s.mean_messages == 25.0
+        assert s.p50_messages == 25.0
+        assert s.fallback_rate == 0.0
+        assert s.n_queries == 4
+
+    def test_fallbacks(self):
+        s = aggregate(
+            "hybrid",
+            successes=np.array([True, True]),
+            messages=np.array([1.0, 2.0]),
+            fallbacks=np.array([True, False]),
+        )
+        assert s.fallback_rate == 0.5
+
+    def test_as_row_width(self):
+        s = aggregate("x", np.array([True]), np.array([1.0]))
+        assert len(s.as_row()) == 7
+
+    def test_misaligned_raises(self):
+        with pytest.raises(ValueError, match="aligned"):
+            aggregate("x", np.array([True]), np.array([1.0, 2.0]))
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            aggregate("x", np.array([], dtype=bool), np.array([]))
+
+
+class TestPredictedUniformSuccess:
+    def test_known_value(self):
+        # The paper's §V arithmetic: 0.1% replication, ~1000 peers -> 62%.
+        assert predicted_uniform_success(0.001, 1000) == pytest.approx(0.632, abs=0.002)
+
+    def test_zero_reach(self):
+        assert predicted_uniform_success(0.5, 0) == 0.0
+
+    def test_full_replication(self):
+        assert predicted_uniform_success(1.0, 1) == 1.0
+
+    def test_monotone_in_reach(self):
+        a = predicted_uniform_success(0.01, 10)
+        b = predicted_uniform_success(0.01, 100)
+        assert b > a
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError, match="probability"):
+            predicted_uniform_success(1.5, 10)
+        with pytest.raises(ValueError, match="non-negative"):
+            predicted_uniform_success(0.5, -1)

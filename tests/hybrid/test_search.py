@@ -1,0 +1,80 @@
+"""Tests for repro.hybrid.search."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.tokenize import tokenize_name
+from repro.dht.chord import ChordRing
+from repro.dht.keyword_index import KeywordIndex
+from repro.hybrid.search import RARE_RESULT_THRESHOLD, HybridSearch
+from repro.overlay.network import UnstructuredNetwork
+from repro.overlay.topology import flat_random
+
+
+@pytest.fixture(scope="module")
+def hybrid(small_content) -> HybridSearch:
+    topo = flat_random(small_content.n_peers, 6.0, seed=4)
+    network = UnstructuredNetwork(topo, small_content)
+    ring = ChordRing(small_content.n_peers, seed=4)
+    return HybridSearch(network, KeywordIndex(ring, small_content), flood_ttl=2)
+
+
+def rare_terms(content) -> list[str]:
+    """Terms matching at least one but few instances."""
+    counts = np.bincount(
+        content._posting_terms, minlength=content.term_index.n_terms
+    )
+    tid = int(np.flatnonzero(counts == 1)[0])
+    return [content.term_index.term_string(tid)]
+
+
+def popular_terms(content) -> list[str]:
+    counts = content.term_peer_counts()
+    tid = int(np.argmax(counts))
+    return [content.term_index.term_string(tid)]
+
+
+class TestHybridSearch:
+    def test_rare_query_falls_back_and_succeeds(self, hybrid, small_content):
+        out = hybrid.query(0, rare_terms(small_content))
+        assert out.fell_back
+        assert out.succeeded
+        assert out.dht_messages > 0
+
+    def test_popular_query_may_resolve_in_flood(self, hybrid, small_content):
+        out = hybrid.query(0, popular_terms(small_content))
+        if not out.fell_back:
+            assert out.n_results >= RARE_RESULT_THRESHOLD
+            assert out.dht_messages == 0
+
+    def test_unknown_term_falls_back_and_fails(self, hybrid):
+        out = hybrid.query(0, ["zzzznotaterm"])
+        assert out.fell_back
+        assert not out.succeeded
+
+    def test_messages_include_both_phases(self, hybrid, small_content):
+        out = hybrid.query(0, rare_terms(small_content))
+        assert out.messages == out.flood.messages + out.dht_messages
+
+    def test_threshold_controls_fallback(self, small_content):
+        topo = flat_random(small_content.n_peers, 6.0, seed=4)
+        network = UnstructuredNetwork(topo, small_content)
+        ring = ChordRing(small_content.n_peers, seed=4)
+        index = KeywordIndex(ring, small_content)
+        eager = HybridSearch(network, index, flood_ttl=2, rare_threshold=1)
+        out = eager.query(0, popular_terms(small_content))
+        # With threshold 1, any flood hit suffices.
+        if out.flood.n_results >= 1:
+            assert not out.fell_back
+
+    def test_invalid_config(self, small_content):
+        topo = flat_random(small_content.n_peers, 6.0, seed=4)
+        network = UnstructuredNetwork(topo, small_content)
+        ring = ChordRing(small_content.n_peers, seed=4)
+        index = KeywordIndex(ring, small_content)
+        with pytest.raises(ValueError, match="flood_ttl"):
+            HybridSearch(network, index, flood_ttl=-1)
+        with pytest.raises(ValueError, match="rare_threshold"):
+            HybridSearch(network, index, rare_threshold=0)

@@ -1,0 +1,90 @@
+"""Tests for repro.hybrid.selection — learned method selection."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hybrid.selection import MethodSelector, SelectorConfig
+
+
+class TestSelector:
+    def test_optimistic_prior_floods_first(self):
+        sel = MethodSelector(10)
+        assert sel.choose(np.array([3])) == "flood"
+
+    def test_failures_push_to_dht(self):
+        sel = MethodSelector(10)
+        for _ in range(8):
+            sel.observe(np.array([3]), flood_succeeded=False)
+        assert sel.choose(np.array([3])) == "dht"
+
+    def test_successes_keep_flooding(self):
+        sel = MethodSelector(10)
+        for _ in range(8):
+            sel.observe(np.array([3]), flood_succeeded=True)
+        assert sel.choose(np.array([3])) == "flood"
+        assert sel.estimate(np.array([3])) > 0.9
+
+    def test_min_over_terms(self):
+        sel = MethodSelector(10)
+        for _ in range(8):
+            sel.observe(np.array([1]), flood_succeeded=True)
+            sel.observe(np.array([2]), flood_succeeded=False)
+        # Query with both: the rare term caps the estimate.
+        assert sel.choose(np.array([1, 2])) == "dht"
+        assert sel.choose(np.array([1])) == "flood"
+
+    def test_duplicate_terms_single_update(self):
+        sel = MethodSelector(10)
+        sel.observe(np.array([4, 4, 4]), flood_succeeded=False)
+        assert sel.observations[4] == 1
+
+    def test_learning_rate_controls_speed(self):
+        fast = MethodSelector(4, SelectorConfig(learning_rate=0.9))
+        slow = MethodSelector(4, SelectorConfig(learning_rate=0.05))
+        for sel in (fast, slow):
+            sel.observe(np.array([0]), flood_succeeded=False)
+        assert fast.estimate(np.array([0])) < slow.estimate(np.array([0]))
+
+    def test_empty_query_raises(self):
+        with pytest.raises(ValueError, match="term"):
+            MethodSelector(4).estimate(np.array([], dtype=np.int64))
+
+    @pytest.mark.parametrize(
+        "kwargs, match",
+        [
+            (dict(learning_rate=0.0), "learning_rate"),
+            (dict(prior=1.5), "prior"),
+            (dict(flood_threshold=-0.1), "flood_threshold"),
+        ],
+    )
+    def test_invalid_config(self, kwargs, match):
+        with pytest.raises(ValueError, match=match):
+            SelectorConfig(**kwargs)
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError, match="n_terms"):
+            MethodSelector(0)
+
+
+class TestConvergenceOnWorkload:
+    def test_converges_to_dht_under_mismatch(self, small_workload, small_content):
+        """GAB's decision layer, fed the real workload, learns what the
+        paper concludes: almost always use the structured lookup."""
+        sel = MethodSelector(small_workload.config.vocab_size)
+        rng = np.random.default_rng(0)
+        flood_choices_late = 0
+        n = 2_000
+        for step, qi in enumerate(rng.integers(0, small_workload.n_queries, size=n)):
+            terms = small_workload.query_terms(int(qi))
+            choice = sel.choose(terms)
+            if choice == "flood":
+                # Simulated flood outcome: succeeds iff >= 3 peers hold
+                # a match (a small-TTL flood needs some replication).
+                words = small_workload.query_words(int(qi))
+                peers = small_content.matching_peers(words)
+                sel.observe(terms, flood_succeeded=peers.size >= 3)
+            if step >= n - 500 and choice == "flood":
+                flood_choices_late += 1
+        assert flood_choices_late / 500 < 0.35

@@ -1,0 +1,57 @@
+"""Tests for repro.overlay.bandwidth."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.overlay.bandwidth import DEFAULT_WIRE, HEADER_BYTES, WireModel
+
+
+class TestWireModel:
+    def test_query_bytes_linear(self):
+        w = WireModel()
+        assert w.query_bytes(2) == 2 * w.query_bytes(1)
+        assert w.query_bytes(1) == HEADER_BYTES + w.query_payload
+
+    def test_hit_bytes_zero_results_free(self):
+        assert WireModel().hit_bytes(0) == 0
+
+    def test_hit_bytes_scale_with_results(self):
+        w = WireModel()
+        assert w.hit_bytes(10) - w.hit_bytes(1) == 9 * w.hit_payload_per_result
+
+    def test_ping_pong(self):
+        w = WireModel()
+        assert w.ping_pong_bytes(1, 0) == HEADER_BYTES
+        assert w.ping_pong_bytes(0, 1) == HEADER_BYTES + w.pong_payload
+
+    def test_dht_query(self):
+        w = WireModel()
+        assert w.dht_query_bytes(5, 100) == 5 * w.dht_hop + 100 * w.posting_entry
+
+    def test_flood_vs_dht_in_bytes(self):
+        """The T-COST conclusion survives the unit change: a TTL-3
+        flood's ~1,000 query messages outweigh a DHT lookup's bytes."""
+        w = DEFAULT_WIRE
+        flood = w.query_bytes(1_000)
+        dht = w.dht_query_bytes(hops=22, posting_entries=500)
+        assert flood > 5 * dht
+
+    def test_qrt_upload_dwarfs_single_query(self):
+        w = DEFAULT_WIRE
+        assert w.qrt_upload > 10 * w.query_bytes(1)
+
+    def test_negative_rejected(self):
+        w = WireModel()
+        with pytest.raises(ValueError, match="non-negative"):
+            w.query_bytes(-1)
+        with pytest.raises(ValueError, match="non-negative"):
+            w.dht_query_bytes(-1, 0)
+        with pytest.raises(ValueError, match="non-negative"):
+            w.ping_pong_bytes(0, -2)
+        with pytest.raises(ValueError, match="non-negative"):
+            w.hit_bytes(-1)
+
+    def test_custom_sizes(self):
+        w = WireModel(query_payload=100)
+        assert w.query_bytes(1) == HEADER_BYTES + 100

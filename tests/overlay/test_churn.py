@@ -1,0 +1,93 @@
+"""Tests for repro.overlay.churn."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.overlay.churn import ChurnConfig, ChurnTimeline, crawl_snapshot
+
+
+@pytest.fixture(scope="module")
+def timeline() -> ChurnTimeline:
+    return ChurnTimeline(ChurnConfig(n_peers=800, seed=3))
+
+
+class TestTimeline:
+    def test_availability_matches_expectation(self, timeline):
+        expected = timeline.config.expected_availability
+        assert timeline.availability() == pytest.approx(expected, abs=0.08)
+
+    def test_online_mask_shape(self, timeline):
+        mask = timeline.online_mask(1_000.0)
+        assert mask.shape == (timeline.n_peers,)
+        assert mask.dtype == bool
+
+    def test_mask_changes_over_time(self, timeline):
+        a = timeline.online_mask(0.0)
+        b = timeline.online_mask(timeline.config.horizon_s / 2)
+        assert (a != b).any()
+
+    def test_out_of_horizon_raises(self, timeline):
+        with pytest.raises(ValueError, match="horizon"):
+            timeline.online_mask(-1.0)
+        with pytest.raises(ValueError, match="horizon"):
+            timeline.online_mask(timeline.config.horizon_s + 1)
+
+    def test_ever_online_superset_of_instant(self, timeline):
+        instant = timeline.online_mask(10_000.0)
+        window = timeline.ever_online(10_000.0, 40_000.0)
+        assert window[instant].all()
+
+    def test_ever_online_bad_window(self, timeline):
+        with pytest.raises(ValueError, match="t1"):
+            timeline.ever_online(100.0, 50.0)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError, match="n_peers"):
+            ChurnConfig(n_peers=0)
+        with pytest.raises(ValueError, match="durations"):
+            ChurnConfig(mean_session_s=0)
+        with pytest.raises(ValueError, match="horizon"):
+            ChurnConfig(horizon_s=-1)
+
+    def test_deterministic(self):
+        cfg = ChurnConfig(n_peers=50, seed=9)
+        a = ChurnTimeline(cfg).online_mask(5_000.0)
+        b = ChurnTimeline(cfg).online_mask(5_000.0)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestCrawlSnapshot:
+    def test_instant_crawl_matches_online_count(self, timeline):
+        observed = crawl_snapshot(timeline, start_s=20_000.0, duration_s=0.0)
+        # A zero-duration crawl sees exactly who is online right then
+        # (bucketing evaluates one instant).
+        assert observed.size == pytest.approx(timeline.online_count(20_000.0), rel=0.05)
+
+    def test_slow_crawl_inflates_counts(self, timeline):
+        """Cruiser's motivation: slow crawls overcount peers."""
+        fast = crawl_snapshot(timeline, start_s=20_000.0, duration_s=600.0, seed=1)
+        slow = crawl_snapshot(timeline, start_s=20_000.0, duration_s=86_400.0, seed=1)
+        assert slow.size > fast.size
+        assert slow.size > timeline.online_count(20_000.0)
+
+    def test_inflation_grows_with_duration(self, timeline):
+        sizes = [
+            crawl_snapshot(timeline, start_s=10_000.0, duration_s=d, seed=2).size
+            for d in (600.0, 7_200.0, 43_200.0, 86_400.0)
+        ]
+        assert sizes == sorted(sizes)
+
+    def test_bounded_by_ever_online(self, timeline):
+        observed = crawl_snapshot(timeline, start_s=10_000.0, duration_s=40_000.0, seed=3)
+        union = timeline.ever_online(10_000.0, 50_000.0, samples=256)
+        assert observed.size <= union.sum() * 1.02
+
+    def test_validation(self, timeline):
+        with pytest.raises(ValueError, match="duration"):
+            crawl_snapshot(timeline, start_s=0.0, duration_s=-1.0)
+        with pytest.raises(ValueError, match="horizon"):
+            crawl_snapshot(
+                timeline, start_s=timeline.config.horizon_s, duration_s=10.0
+            )

@@ -1,0 +1,94 @@
+"""Tests for repro.overlay.content."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.tokenize import tokenize_name
+
+
+class TestMatch:
+    def test_matches_bruteforce(self, small_content):
+        trace = small_content.trace
+        # Pick terms from a real name so matches exist.
+        name = trace.names.lookup(int(trace.name_ids[0]))
+        terms = tokenize_name(name)[:2]
+        hits = set(small_content.match(terms).tolist())
+        expected = set()
+        for i in range(trace.n_instances):
+            toks = set(tokenize_name(trace.names.lookup(int(trace.name_ids[i]))))
+            if all(t in toks for t in terms):
+                expected.add(i)
+        assert hits == expected
+
+    def test_unknown_term_matches_nothing(self, small_content):
+        assert small_content.match(["zzzznotaterm"]).size == 0
+
+    def test_and_semantics_narrow(self, small_content):
+        trace = small_content.trace
+        name = trace.names.lookup(int(trace.name_ids[0]))
+        terms = tokenize_name(name)
+        one = small_content.match(terms[:1])
+        both = small_content.match(terms[:2]) if len(terms) > 1 else one
+        assert set(both.tolist()) <= set(one.tolist())
+
+    def test_empty_query_raises(self, small_content):
+        with pytest.raises(ValueError, match="term"):
+            small_content.match([])
+
+    def test_duplicate_terms_equivalent(self, small_content):
+        trace = small_content.trace
+        term = tokenize_name(trace.names.lookup(int(trace.name_ids[0])))[0]
+        a = small_content.match([term])
+        b = small_content.match([term, term])
+        np.testing.assert_array_equal(a, b)
+
+
+class TestPostings:
+    def test_posting_sorted_unique(self, small_content):
+        for tid in range(0, min(50, small_content.term_index.n_terms)):
+            p = small_content.posting(tid)
+            assert np.all(np.diff(p) > 0)
+
+    def test_posting_instances_contain_term(self, small_content):
+        trace = small_content.trace
+        tid = 0
+        term = small_content.term_index.term_string(0)
+        for inst in small_content.posting(tid)[:50]:
+            name = trace.names.lookup(int(trace.name_ids[inst]))
+            assert term in tokenize_name(name)
+
+    def test_term_peer_counts_match_manual(self, small_content):
+        counts = small_content.term_peer_counts()
+        tid = int(np.argmax(counts))
+        peers = np.unique(
+            small_content.instance_peer[small_content.posting(tid)]
+        )
+        assert counts[tid] == peers.size
+
+
+class TestPeerViews:
+    def test_matching_peers(self, small_content):
+        trace = small_content.trace
+        term = tokenize_name(trace.names.lookup(int(trace.name_ids[0])))[0]
+        peers = small_content.matching_peers([term])
+        hits = small_content.match([term])
+        np.testing.assert_array_equal(
+            peers, np.unique(small_content.instance_peer[hits])
+        )
+
+    def test_peer_results_respects_mask(self, small_content):
+        trace = small_content.trace
+        term = tokenize_name(trace.names.lookup(int(trace.name_ids[0])))[0]
+        mask = np.zeros(small_content.n_peers, dtype=bool)
+        mask[int(trace.peer_of_instance[0])] = True
+        hits = small_content.peer_results([term], mask)
+        assert hits.size > 0
+        assert (small_content.instance_peer[hits] == trace.peer_of_instance[0]).all()
+
+    def test_empty_mask_no_results(self, small_content):
+        trace = small_content.trace
+        term = tokenize_name(trace.names.lookup(int(trace.name_ids[0])))[0]
+        mask = np.zeros(small_content.n_peers, dtype=bool)
+        assert small_content.peer_results([term], mask).size == 0

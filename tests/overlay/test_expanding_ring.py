@@ -1,0 +1,62 @@
+"""Tests for repro.overlay.expanding_ring."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.tokenize import tokenize_name
+from repro.overlay.expanding_ring import expanding_ring_search
+from repro.overlay.network import UnstructuredNetwork
+from repro.overlay.topology import flat_random
+
+
+@pytest.fixture(scope="module")
+def network(small_content):
+    return UnstructuredNetwork(flat_random(small_content.n_peers, 6.0, seed=12), small_content)
+
+
+def popular_terms(content) -> list[str]:
+    counts = content.term_peer_counts()
+    return [content.term_index.term_string(int(np.argmax(counts)))]
+
+
+class TestExpandingRing:
+    def test_popular_query_stops_early(self, network, small_content):
+        res = expanding_ring_search(network, 0, popular_terms(small_content))
+        assert res.succeeded
+        assert res.rings[-1] < 5  # resolved before the last ring
+
+    def test_popular_cheaper_than_max_flood(self, network, small_content):
+        terms = popular_terms(small_content)
+        ring = expanding_ring_search(network, 0, terms, ttl_schedule=(1, 2, 3, 5))
+        full = network.query_flood(0, terms, 5)
+        if ring.rings[-1] <= 2:
+            assert ring.messages < full.messages
+
+    def test_unknown_term_pays_every_ring(self, network):
+        res = expanding_ring_search(network, 0, ["qqqq-none"], ttl_schedule=(1, 2, 3))
+        assert not res.succeeded
+        assert res.rings == (1, 2, 3)
+        # Cumulative cost exceeds the final flood alone.
+        final = network.query_flood(0, ["qqqq-none"], 3)
+        assert res.messages > final.messages
+
+    def test_min_results_raises_rings(self, network, small_content):
+        terms = popular_terms(small_content)
+        lax = expanding_ring_search(network, 0, terms, min_results=1)
+        strict = expanding_ring_search(network, 0, terms, min_results=10_000)
+        assert len(strict.rings) >= len(lax.rings)
+
+    def test_invalid_args(self, network):
+        with pytest.raises(ValueError, match="min_results"):
+            expanding_ring_search(network, 0, ["x"], min_results=0)
+        with pytest.raises(ValueError, match="ttl_schedule"):
+            expanding_ring_search(network, 0, ["x"], ttl_schedule=())
+        with pytest.raises(ValueError, match="non-decreasing"):
+            expanding_ring_search(network, 0, ["x"], ttl_schedule=(3, 1))
+
+    def test_result_fields_consistent(self, network, small_content):
+        res = expanding_ring_search(network, 0, popular_terms(small_content))
+        assert res.n_results == res.final.n_results
+        assert res.messages >= res.final.messages

@@ -1,0 +1,153 @@
+"""Tests for repro.overlay.flooding."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.overlay.flooding import flood, flood_depths, reach_fractions
+from repro.overlay.topology import from_networkx, two_tier_gnutella
+
+
+class TestFloodOnRing:
+    def test_depths_match_cycle_distance(self, ring_topology):
+        depth, _ = flood_depths(ring_topology, 0, 3)
+        for v in range(12):
+            d_true = min(v, 12 - v)
+            assert depth[v] == (d_true if d_true <= 3 else -1)
+
+    def test_reach_grows_with_ttl(self, ring_topology):
+        reaches = [flood(ring_topology, 0, t).n_reached for t in range(0, 7)]
+        assert reaches == [1, 3, 5, 7, 9, 11, 12]
+
+    def test_messages_on_cycle(self, ring_topology):
+        # TTL 1: source sends to its 2 neighbors.
+        assert flood(ring_topology, 0, 1).messages == 2
+        # TTL 2: + each neighbor forwards to its 2 neighbors (duplicates
+        # to the source included in the message count).
+        assert flood(ring_topology, 0, 2).messages == 6
+
+
+class TestFloodVsNetworkx:
+    def test_depths_match_shortest_paths(self):
+        g = nx.random_regular_graph(4, 60, seed=2)
+        topo = from_networkx(nx.convert_node_labels_to_integers(g))
+        depth, _ = flood_depths(topo, 0, 4)
+        sp = nx.single_source_shortest_path_length(topo.to_networkx(), 0, cutoff=4)
+        for v in range(topo.n_nodes):
+            assert depth[v] == sp.get(v, -1)
+
+
+class TestForwardingRules:
+    def test_leaves_do_not_relay(self):
+        # Path a(UP) - b(leaf) - c(UP): a's flood must stop at b.
+        g = nx.path_graph(3)
+        g.nodes[1]["forwards"] = False
+        topo = from_networkx(g)
+        depth, _ = flood_depths(topo, 0, 5)
+        np.testing.assert_array_equal(depth, [0, 1, -1])
+
+    def test_leaf_source_still_emits(self):
+        g = nx.path_graph(3)
+        g.nodes[0]["forwards"] = False
+        topo = from_networkx(g)
+        depth, _ = flood_depths(topo, 0, 5)
+        np.testing.assert_array_equal(depth, [0, 1, 2])
+
+    def test_two_tier_leaf_isolation(self, small_two_tier):
+        # From an ultrapeer, any reached leaf is adjacent to a reached
+        # ultrapeer one level shallower.
+        depth, _ = flood_depths(small_two_tier, 0, 3)
+        n_up = int(small_two_tier.forwards.sum())
+        for v in range(n_up, small_two_tier.n_nodes):
+            if depth[v] > 0:
+                parents = small_two_tier.neighbors_of(v)
+                assert (depth[parents] == depth[v] - 1).any()
+
+
+class TestFloodApi:
+    def test_ttl_zero_reaches_only_source(self, ring_topology):
+        r = flood(ring_topology, 3, 0)
+        assert r.n_reached == 1
+        assert r.messages == 0
+        np.testing.assert_array_equal(r.reached, [3])
+
+    def test_multi_source(self, ring_topology):
+        depth, _ = flood_depths(ring_topology, np.array([0, 6]), 2)
+        assert (depth >= 0).sum() == 10
+
+    def test_negative_ttl_raises(self, ring_topology):
+        with pytest.raises(ValueError, match="non-negative"):
+            flood(ring_topology, 0, -1)
+
+    def test_monotone_reach_in_ttl(self, small_two_tier):
+        reaches = [flood(small_two_tier, 0, t).n_reached for t in range(6)]
+        assert all(a <= b for a, b in zip(reaches, reaches[1:]))
+
+
+class TestReachFractions:
+    def test_shape_and_monotonicity(self, small_two_tier):
+        out = reach_fractions(small_two_tier, np.array([0, 1, 2]), [1, 2, 3])
+        assert out.shape == (3,)
+        assert np.all(np.diff(out) >= 0)
+        assert np.all((0 <= out) & (out <= 1))
+
+    def test_excludes_source(self, ring_topology):
+        out = reach_fractions(ring_topology, np.array([0]), [1])
+        assert out[0] == pytest.approx(2 / 12)
+
+    def test_empty_ttls_raise(self, ring_topology):
+        with pytest.raises(ValueError, match="TTL"):
+            reach_fractions(ring_topology, np.array([0]), [])
+
+
+class TestLossyFlooding:
+    def test_zero_loss_identical(self, small_two_tier):
+        from repro.utils.rng import make_rng
+
+        a, _ = flood_depths(small_two_tier, 0, 4)
+        b, _ = flood_depths(small_two_tier, 0, 4, p_loss=0.0)
+        np.testing.assert_array_equal(a, b)
+
+    def test_loss_reduces_reach(self, small_two_tier):
+        from repro.utils.rng import make_rng
+
+        clean, _ = flood_depths(small_two_tier, 0, 4)
+        lossy, _ = flood_depths(
+            small_two_tier, 0, 4, p_loss=0.5, rng=make_rng(1)
+        )
+        assert (lossy >= 0).sum() < (clean >= 0).sum()
+
+    def test_lossy_reached_subset_semantics(self, small_two_tier):
+        """Everything reached under loss is reached at >= that depth
+        without loss (loss can only delay or drop, never shorten)."""
+        from repro.utils.rng import make_rng
+
+        clean, _ = flood_depths(small_two_tier, 0, 5)
+        lossy, _ = flood_depths(
+            small_two_tier, 0, 5, p_loss=0.3, rng=make_rng(2)
+        )
+        reached = lossy >= 0
+        assert (clean[reached] >= 0).all()
+        assert (lossy[reached] >= clean[reached]).all()
+
+    def test_messages_counted_even_when_lost(self, small_two_tier):
+        from repro.utils.rng import make_rng
+
+        _, clean_msgs = flood_depths(small_two_tier, 0, 2)
+        _, lossy_msgs = flood_depths(
+            small_two_tier, 0, 2, p_loss=0.9, rng=make_rng(3)
+        )
+        # Heavy loss shrinks the frontier, so *later* levels send less,
+        # but level-1 sends are identical and still counted.
+        assert lossy_msgs <= clean_msgs
+        assert lossy_msgs > 0
+
+    def test_validation(self, small_two_tier):
+        from repro.utils.rng import make_rng
+
+        with pytest.raises(ValueError, match="p_loss"):
+            flood_depths(small_two_tier, 0, 2, p_loss=1.0, rng=make_rng(0))
+        with pytest.raises(ValueError, match="requires an rng"):
+            flood_depths(small_two_tier, 0, 2, p_loss=0.5)

@@ -1,0 +1,82 @@
+"""Property-based flooding tests on hypothesis-generated graphs."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.overlay.flooding import flood, flood_depths
+from repro.overlay.topology import from_networkx
+
+
+@st.composite
+def random_graphs(draw):
+    """Small connected-ish random graphs with optional non-forwarders."""
+    n = draw(st.integers(4, 40))
+    p = draw(st.floats(0.05, 0.5))
+    seed = draw(st.integers(0, 10_000))
+    g = nx.gnp_random_graph(n, p, seed=seed)
+    non_forwarding = draw(st.sets(st.integers(0, n - 1), max_size=n // 3))
+    for v in non_forwarding:
+        g.nodes[v]["forwards"] = False
+    return from_networkx(g)
+
+
+class TestFloodingProperties:
+    @given(topo=random_graphs(), ttl=st.integers(0, 6))
+    @settings(max_examples=40, deadline=None)
+    def test_depths_are_valid_bfs_levels(self, topo, ttl):
+        depth, _ = flood_depths(topo, 0, ttl)
+        assert depth[0] == 0
+        reached = np.flatnonzero(depth > 0)
+        for v in reached:
+            # Some neighbor sits exactly one level shallower — and if
+            # v is deeper than 1, that predecessor must be a forwarder.
+            parents = topo.neighbors_of(int(v))
+            levels = depth[parents]
+            ok = (levels == depth[v] - 1) & (
+                (depth[v] == 1) | topo.forwards[parents]
+            )
+            assert ok.any()
+
+    @given(topo=random_graphs(), ttl=st.integers(0, 5))
+    @settings(max_examples=40, deadline=None)
+    def test_reach_monotone_in_ttl(self, topo, ttl):
+        a = flood(topo, 0, ttl).n_reached
+        b = flood(topo, 0, ttl + 1).n_reached
+        assert b >= a
+
+    @given(topo=random_graphs())
+    @settings(max_examples=30, deadline=None)
+    def test_all_forwarding_matches_networkx(self, topo):
+        # Force every node to forward, then depths are plain BFS levels.
+        topo.forwards[:] = True
+        depth, _ = flood_depths(topo, 0, topo.n_nodes)
+        sp = nx.single_source_shortest_path_length(topo.to_networkx(), 0)
+        for v in range(topo.n_nodes):
+            assert depth[v] == sp.get(v, -1)
+
+    @given(topo=random_graphs(), ttl=st.integers(1, 4))
+    @settings(max_examples=30, deadline=None)
+    def test_multisource_is_min_of_singles(self, topo, ttl):
+        if topo.n_nodes < 2:
+            return
+        sources = np.array([0, topo.n_nodes - 1])
+        multi, _ = flood_depths(topo, sources, ttl)
+        singles = [flood_depths(topo, int(s), ttl)[0] for s in sources]
+        for v in range(topo.n_nodes):
+            candidates = [d[v] for d in singles if d[v] >= 0]
+            expected = min(candidates) if candidates else -1
+            assert multi[v] == expected
+
+    @given(topo=random_graphs(), ttl=st.integers(0, 4))
+    @settings(max_examples=30, deadline=None)
+    def test_messages_zero_iff_ttl_zero_or_isolated(self, topo, ttl):
+        _, messages = flood_depths(topo, 0, ttl)
+        if ttl == 0 or topo.degree(0) == 0:
+            assert messages == 0
+        else:
+            assert messages > 0

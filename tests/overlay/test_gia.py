@@ -1,0 +1,105 @@
+"""Tests for repro.overlay.gia — the §VI Gia comparator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.overlay.gia import (
+    GIA_CAPACITY_LEVELS,
+    gia_search,
+    gia_success_rate,
+    gia_topology,
+    sample_capacities,
+)
+from repro.utils.rng import make_rng
+
+
+@pytest.fixture(scope="module")
+def gia_net():
+    caps = sample_capacities(1_500, make_rng(4))
+    topo = gia_topology(1_500, caps, seed=4)
+    return topo, caps
+
+
+class TestCapacities:
+    def test_distribution_levels(self):
+        caps = sample_capacities(50_000, make_rng(1))
+        levels = {l for l, _ in GIA_CAPACITY_LEVELS}
+        assert set(np.unique(caps).tolist()) <= levels
+
+    def test_level_proportions(self):
+        caps = sample_capacities(100_000, make_rng(2))
+        frac_10 = float(np.mean(caps == 10.0))
+        assert frac_10 == pytest.approx(0.45, abs=0.02)
+
+
+class TestTopology:
+    def test_degree_scales_with_capacity(self, gia_net):
+        topo, caps = gia_net
+        deg = topo.degree()
+        low = deg[caps == 1.0].mean()
+        high = deg[caps >= 1_000.0].mean()
+        assert high > 2 * low
+
+    def test_all_forward(self, gia_net):
+        topo, _ = gia_net
+        assert topo.forwards.all()
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="one capacity per node"):
+            gia_topology(10, np.ones(5))
+        with pytest.raises(ValueError, match="positive"):
+            gia_topology(3, np.array([1.0, -1.0, 2.0]))
+
+
+class TestSearch:
+    def test_source_holding_is_instant(self, gia_net):
+        topo, caps = gia_net
+        holder = np.zeros(topo.n_nodes, dtype=bool)
+        holder[7] = True
+        res = gia_search(topo, caps, holder, 7)
+        assert res.succeeded and res.steps == 0
+
+    def test_one_hop_replication_answers_from_neighbors(self, gia_net):
+        topo, caps = gia_net
+        holder = np.zeros(topo.n_nodes, dtype=bool)
+        neighbor = int(topo.neighbors_of(0)[0])
+        holder[neighbor] = True
+        res = gia_search(topo, caps, holder, 0)
+        assert res.succeeded and res.steps == 0
+
+    def test_budget_respected(self, gia_net):
+        topo, caps = gia_net
+        holder = np.zeros(topo.n_nodes, dtype=bool)  # unfindable
+        res = gia_search(topo, caps, holder, 0, max_steps=10)
+        assert not res.succeeded
+        assert res.steps <= 10
+        assert res.found_at == -1
+
+    def test_validation(self, gia_net):
+        topo, caps = gia_net
+        with pytest.raises(ValueError, match="holder"):
+            gia_search(topo, caps, np.zeros(3, dtype=bool), 0)
+        with pytest.raises(ValueError, match="max_steps"):
+            gia_search(topo, caps, np.zeros(topo.n_nodes, dtype=bool), 0, max_steps=-1)
+
+
+class TestSuccessRate:
+    def test_gia_great_at_its_evaluated_replication(self, gia_net):
+        """Gia's own setting: uniform objects on 0.5% of peers."""
+        topo, caps = gia_net
+        rate = gia_success_rate(topo, caps, 0.005, trials=40, max_steps=64, seed=1)
+        assert rate > 0.8
+
+    def test_gia_poor_at_realistic_replication(self, gia_net):
+        """The paper's critique: almost no real object is that replicated."""
+        topo, caps = gia_net
+        good = gia_success_rate(topo, caps, 0.005, trials=40, max_steps=32, seed=1)
+        real = gia_success_rate(topo, caps, 0.0007, trials=40, max_steps=32, seed=1)
+        assert real < good
+
+    def test_validation(self, gia_net):
+        topo, caps = gia_net
+        with pytest.raises(ValueError, match="replica_fraction"):
+            gia_success_rate(topo, caps, 0.0)

@@ -1,0 +1,133 @@
+"""Tests for repro.overlay.protocol — Gnutella network formation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.overlay.protocol import GnutellaSession, ProtocolConfig
+
+
+@pytest.fixture()
+def session() -> GnutellaSession:
+    sess = GnutellaSession(ProtocolConfig(n_nodes=300, seed=2))
+    sess.form(rounds=20)
+    return sess
+
+
+class TestFormation:
+    def test_network_is_connected(self, session):
+        assert session.largest_component_fraction() == 1.0
+
+    def test_degrees_near_target(self, session):
+        cfg = session.config
+        degrees = [session.degree_of(v) for v in session.online]
+        assert np.mean(degrees) >= cfg.target_degree * 0.8
+        assert max(degrees) <= cfg.max_degree
+
+    def test_snapshot_matches_state(self, session):
+        topo = session.snapshot()
+        assert topo.n_nodes == session.config.n_nodes
+        for v in list(session.online)[:50]:
+            assert set(topo.neighbors_of(v).tolist()) == session.neighbors[v]
+
+    def test_snapshot_usable_by_flooding(self, session):
+        from repro.overlay.flooding import flood
+
+        topo = session.snapshot()
+        result = flood(topo, 0, 4)
+        assert result.n_reached > 10
+
+    def test_deterministic(self):
+        def build():
+            s = GnutellaSession(ProtocolConfig(n_nodes=120, seed=5))
+            s.form(rounds=15)
+            return {v: frozenset(s.neighbors[v]) for v in s.online}
+
+        assert build() == build()
+
+
+class TestChurnRepair:
+    def test_leave_drops_edges(self, session):
+        victim = next(iter(session.online))
+        friends = list(session.neighbors[victim])
+        session.leave(victim)
+        for f in friends:
+            assert victim not in session.neighbors[f]
+
+    def test_repair_after_mass_departure(self, session):
+        # Remove a third of the network, then let the protocol repair.
+        victims = sorted(session.online)[::3]
+        for v in victims:
+            session.leave(v)
+        for _ in range(12):
+            session.run_round()
+        assert session.largest_component_fraction() > 0.95
+
+    def test_rejoin(self, session):
+        victim = next(iter(session.online))
+        session.leave(victim)
+        session.join(victim)
+        session.run_round()
+        assert session.degree_of(victim) >= 1
+
+    def test_double_join_raises(self, session):
+        v = next(iter(session.online))
+        with pytest.raises(ValueError, match="already online"):
+            session.join(v)
+
+    def test_leave_offline_raises(self, session):
+        with pytest.raises(ValueError, match="not online"):
+            session.leave(10_000)
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="two nodes"):
+            ProtocolConfig(n_nodes=1)
+        with pytest.raises(ValueError, match="target_degree"):
+            ProtocolConfig(target_degree=0)
+        with pytest.raises(ValueError, match="target_degree"):
+            ProtocolConfig(target_degree=20, max_degree=10)
+        with pytest.raises(ValueError, match="positive"):
+            ProtocolConfig(pongs_per_ping=0)
+
+
+class TestUltrapeerElection:
+    @pytest.fixture()
+    def elected(self) -> GnutellaSession:
+        sess = GnutellaSession(
+            ProtocolConfig(n_nodes=300, ultrapeer_fraction=0.3, seed=4)
+        )
+        sess.form(rounds=15)
+        return sess
+
+    def test_fraction_elected(self, elected):
+        assert len(elected.ultrapeers) == pytest.approx(
+            0.3 * len(elected.online), abs=2
+        )
+
+    def test_highest_capacity_wins(self, elected):
+        floor = min(elected._capacity[v] for v in elected.ultrapeers)
+        for v in elected.online - elected.ultrapeers:
+            assert elected._capacity[v] <= floor
+
+    def test_snapshot_forwards_matches_election(self, elected):
+        topo = elected.snapshot()
+        assert set(np.flatnonzero(topo.forwards).tolist()) == elected.ultrapeers
+
+    def test_departure_triggers_promotion(self, elected):
+        top = max(elected.ultrapeers, key=lambda v: elected._capacity[v])
+        before = set(elected.ultrapeers)
+        elected.leave(top)
+        elected.elect_ultrapeers()
+        assert top not in elected.ultrapeers
+        assert elected.ultrapeers - before  # someone got promoted
+
+    def test_flat_network_all_forward(self, session):
+        topo = session.snapshot()
+        assert topo.forwards.all()
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError, match="ultrapeer_fraction"):
+            ProtocolConfig(ultrapeer_fraction=1.0)

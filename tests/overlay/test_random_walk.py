@@ -1,0 +1,63 @@
+"""Tests for repro.overlay.random_walk."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.overlay.random_walk import random_walk
+
+
+class TestRandomWalk:
+    def test_source_always_visited(self, small_flat):
+        r = random_walk(small_flat, 5, walkers=2, ttl=0, seed=1)
+        np.testing.assert_array_equal(r.visited, [5])
+        assert r.messages == 0
+
+    def test_messages_bounded_by_budget(self, small_flat):
+        r = random_walk(small_flat, 0, walkers=4, ttl=50, seed=1)
+        assert r.messages <= 4 * 50
+
+    def test_visited_are_reachable(self, small_flat):
+        import networkx as nx
+
+        r = random_walk(small_flat, 0, walkers=8, ttl=100, seed=2)
+        g = small_flat.to_networkx()
+        comp = nx.node_connected_component(g, 0)
+        assert set(r.visited.tolist()) <= comp
+
+    def test_more_walkers_visit_more(self, small_flat):
+        few = random_walk(small_flat, 0, walkers=1, ttl=60, seed=3).n_visited
+        many = random_walk(small_flat, 0, walkers=16, ttl=60, seed=3).n_visited
+        assert many > few
+
+    def test_deterministic(self, small_flat):
+        a = random_walk(small_flat, 0, walkers=4, ttl=40, seed=9)
+        b = random_walk(small_flat, 0, walkers=4, ttl=40, seed=9)
+        np.testing.assert_array_equal(a.visited, b.visited)
+        assert a.messages == b.messages
+
+    def test_walk_on_ring_covers_neighborhood(self, ring_topology):
+        r = random_walk(ring_topology, 0, walkers=2, ttl=3, seed=0)
+        # Walkers can reach at most distance 3 on the cycle.
+        for v in r.visited:
+            assert min(v, 12 - v) <= 3
+
+    def test_invalid_args(self, ring_topology):
+        with pytest.raises(ValueError, match="walker"):
+            random_walk(ring_topology, 0, walkers=0)
+        with pytest.raises(ValueError, match="ttl"):
+            random_walk(ring_topology, 0, ttl=-1)
+
+    def test_isolated_node_stalls(self):
+        import networkx as nx
+
+        from repro.overlay.topology import from_networkx
+
+        g = nx.Graph()
+        g.add_nodes_from(range(3))
+        g.add_edge(1, 2)
+        topo = from_networkx(g)
+        r = random_walk(topo, 0, walkers=3, ttl=10, seed=0)
+        np.testing.assert_array_equal(r.visited, [0])
+        assert r.messages == 0

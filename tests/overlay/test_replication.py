@@ -1,0 +1,127 @@
+"""Tests for repro.overlay.replication — Cohen-Shenker policies."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.overlay.replication import (
+    POLICIES,
+    allocate_replicas,
+    expected_search_size,
+)
+from repro.utils.zipf import zipf_weights
+
+
+class TestAllocate:
+    def test_budget_exact(self):
+        w = zipf_weights(50, 1.0)
+        for policy in POLICIES:
+            counts = allocate_replicas(w, 500, policy)
+            assert counts.sum() == 500
+
+    def test_every_object_at_least_one(self):
+        w = np.zeros(10)
+        w[0] = 1.0
+        counts = allocate_replicas(w, 100, "proportional")
+        assert counts.min() >= 1
+
+    def test_uniform_is_flat(self):
+        counts = allocate_replicas(zipf_weights(10, 1.0), 100, "uniform")
+        assert counts.max() - counts.min() <= 1
+
+    def test_proportional_tracks_weights(self):
+        w = np.array([9.0, 1.0])
+        counts = allocate_replicas(w, 102, "proportional")
+        assert counts[0] == pytest.approx(91, abs=2)
+
+    def test_sqrt_between_uniform_and_proportional(self):
+        w = zipf_weights(100, 1.2)
+        u = allocate_replicas(w, 1_000, "uniform")
+        s = allocate_replicas(w, 1_000, "square-root")
+        p = allocate_replicas(w, 1_000, "proportional")
+        # Head object: uniform < sqrt < proportional.
+        assert u[0] < s[0] < p[0]
+
+    def test_unknown_policy(self):
+        with pytest.raises(ValueError, match="unknown policy"):
+            allocate_replicas(np.ones(3), 10, "bogus")
+
+    def test_budget_too_small(self):
+        with pytest.raises(ValueError, match="budget"):
+            allocate_replicas(np.ones(10), 5, "uniform")
+
+    def test_negative_weights(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            allocate_replicas(np.array([-1.0, 1.0]), 10, "uniform")
+
+    def test_all_zero_weights_fall_back_to_uniform(self):
+        counts = allocate_replicas(np.zeros(4), 8, "proportional")
+        assert counts.sum() == 8
+        assert counts.max() - counts.min() <= 1
+
+    @given(
+        n=st.integers(2, 60),
+        budget_factor=st.integers(2, 20),
+        policy=st.sampled_from(POLICIES),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_budget_and_floor_properties(self, n, budget_factor, policy):
+        w = zipf_weights(n, 1.0)
+        budget = n * budget_factor
+        counts = allocate_replicas(w, budget, policy)
+        assert counts.sum() == budget
+        assert counts.min() >= 1
+
+
+class TestExpectedSearchSize:
+    def test_square_root_optimal(self):
+        """The Cohen-Shenker theorem, numerically."""
+        w = zipf_weights(200, 1.0)
+        n_nodes = 10_000
+        budget = 2_000
+        sizes = {
+            p: expected_search_size(allocate_replicas(w, budget, p), w, n_nodes)
+            for p in POLICIES
+        }
+        assert sizes["square-root"] < sizes["uniform"]
+        assert sizes["square-root"] < sizes["proportional"]
+
+    def test_uniform_weights_tie(self):
+        w = np.ones(50)
+        n_nodes = 1_000
+        u = expected_search_size(allocate_replicas(w, 500, "uniform"), w, n_nodes)
+        s = expected_search_size(allocate_replicas(w, 500, "square-root"), w, n_nodes)
+        assert u == pytest.approx(s, rel=0.01)
+
+    def test_more_budget_fewer_probes(self):
+        w = zipf_weights(100, 1.0)
+        small = expected_search_size(allocate_replicas(w, 200, "square-root"), w, 10_000)
+        large = expected_search_size(allocate_replicas(w, 2_000, "square-root"), w, 10_000)
+        assert large < small
+
+    def test_misallocated_budget_hurts(self):
+        """Replicating by *file* popularity when queries follow a
+        mismatched distribution wastes the budget — the paper's point
+        transplanted to replication."""
+        rng = np.random.default_rng(0)
+        query_w = zipf_weights(200, 1.0)
+        file_w = query_w[rng.permutation(200)]  # mismatched popularity
+        n_nodes, budget = 10_000, 2_000
+        right = allocate_replicas(query_w, budget, "square-root")
+        wrong = allocate_replicas(file_w, budget, "square-root")
+        assert expected_search_size(right, query_w, n_nodes) < expected_search_size(
+            wrong, query_w, n_nodes
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="aligned"):
+            expected_search_size(np.ones(3), np.ones(4), 10)
+        with pytest.raises(ValueError, match="at least one replica"):
+            expected_search_size(np.zeros(3), np.ones(3), 10)
+        with pytest.raises(ValueError, match="sum to zero"):
+            expected_search_size(np.ones(3), np.zeros(3), 10)
+        with pytest.raises(ValueError, match="more replicas"):
+            expected_search_size(np.array([20.0]), np.array([1.0]), 10)

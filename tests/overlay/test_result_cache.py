@@ -1,0 +1,97 @@
+"""Tests for repro.overlay.result_cache."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.overlay.result_cache import (
+    CacheConfig,
+    QueryResultCache,
+    simulate_cache,
+)
+
+
+class TestQueryResultCache:
+    def test_first_lookup_misses(self):
+        cache = QueryResultCache()
+        assert not cache.lookup(np.array([1, 2]), now=0.0)
+        assert cache.misses == 1 and cache.hits == 0
+
+    def test_repeat_hits(self):
+        cache = QueryResultCache()
+        cache.lookup(np.array([1, 2]), now=0.0)
+        assert cache.lookup(np.array([2, 1]), now=1.0)  # order-insensitive
+        assert cache.hits == 1
+
+    def test_duplicate_terms_normalized(self):
+        cache = QueryResultCache()
+        cache.lookup(np.array([3, 3, 5]), now=0.0)
+        assert cache.lookup(np.array([5, 3]), now=1.0)
+
+    def test_ttl_expiry_counts_stale(self):
+        cache = QueryResultCache(CacheConfig(freshness_ttl_s=10.0))
+        cache.lookup(np.array([1]), now=0.0)
+        assert not cache.lookup(np.array([1]), now=11.0)
+        assert cache.stale_misses == 1
+        # Refreshed: hits again within TTL of the refresh.
+        assert cache.lookup(np.array([1]), now=15.0)
+
+    def test_lru_eviction(self):
+        cache = QueryResultCache(CacheConfig(capacity=2, freshness_ttl_s=1e9))
+        cache.lookup(np.array([1]), now=0.0)
+        cache.lookup(np.array([2]), now=1.0)
+        cache.lookup(np.array([3]), now=2.0)  # evicts key [1]
+        assert not cache.lookup(np.array([1]), now=3.0)
+        assert cache.lookup(np.array([3]), now=4.0)
+
+    def test_lru_touch_on_hit(self):
+        cache = QueryResultCache(CacheConfig(capacity=2, freshness_ttl_s=1e9))
+        cache.lookup(np.array([1]), now=0.0)
+        cache.lookup(np.array([2]), now=1.0)
+        cache.lookup(np.array([1]), now=2.0)  # touch [1]
+        cache.lookup(np.array([3]), now=3.0)  # should evict [2]
+        assert cache.lookup(np.array([1]), now=4.0)
+        assert not cache.lookup(np.array([2]), now=5.0)
+
+    def test_hit_rate(self):
+        cache = QueryResultCache()
+        assert cache.hit_rate == 0.0
+        cache.lookup(np.array([1]), now=0.0)
+        cache.lookup(np.array([1]), now=1.0)
+        assert cache.hit_rate == 0.5
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError, match="capacity"):
+            CacheConfig(capacity=0)
+        with pytest.raises(ValueError, match="freshness"):
+            CacheConfig(freshness_ttl_s=0)
+
+
+class TestSimulateCache:
+    def test_report_fields(self, small_workload):
+        report = simulate_cache(small_workload, max_queries=5_000)
+        assert 0.0 <= report.hit_rate <= 1.0
+        assert report.n_queries == 5_000
+
+    def test_transient_queries_cache_well(self, small_workload):
+        """Burst queries repeat the same single term — they cache."""
+        report = simulate_cache(small_workload, max_queries=small_workload.n_queries)
+        if np.isnan(report.hit_rate_transient):
+            pytest.skip("no transient queries in this workload")
+        assert report.hit_rate_transient > report.hit_rate_persistent
+
+    def test_bigger_cache_no_worse(self, small_workload):
+        small = simulate_cache(
+            small_workload, CacheConfig(capacity=32), max_queries=10_000
+        )
+        big = simulate_cache(
+            small_workload, CacheConfig(capacity=4_096), max_queries=10_000
+        )
+        assert big.hit_rate >= small.hit_rate - 0.01
+
+    def test_low_overall_hit_rate(self, small_workload):
+        """The long query tail defeats exact-match caching — the
+        workload-level reason ultrapeer caches underperformed."""
+        report = simulate_cache(small_workload, max_queries=20_000)
+        assert report.hit_rate < 0.6

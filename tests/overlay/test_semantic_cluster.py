@@ -1,0 +1,99 @@
+"""Tests for repro.overlay.semantic_cluster."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.overlay.semantic_cluster import (
+    library_similarity_topk,
+    neighborhood_hit_rate,
+    semantic_rewire,
+)
+from repro.overlay.topology import flat_random
+
+
+@pytest.fixture(scope="module")
+def sim_table(small_trace):
+    return library_similarity_topk(small_trace, k=5)
+
+
+class TestSimilarity:
+    def test_shape_and_padding(self, small_trace, sim_table):
+        assert sim_table.shape == (small_trace.n_peers, 5)
+        assert sim_table.min() >= -1
+        assert sim_table.max() < small_trace.n_peers
+
+    def test_no_self_similarity(self, sim_table):
+        for p in range(sim_table.shape[0]):
+            assert p not in sim_table[p]
+
+    def test_similar_peers_share_songs(self, small_trace, sim_table):
+        checked = 0
+        for p in range(small_trace.n_peers):
+            q = int(sim_table[p, 0])
+            if q < 0:
+                continue
+            own = set(small_trace.peer_song_ids(p).tolist())
+            other = set(small_trace.peer_song_ids(q).tolist())
+            assert own & other, f"top-similar peer of {p} shares nothing"
+            checked += 1
+            if checked >= 30:
+                break
+        assert checked > 0
+
+    def test_k_validation(self, small_trace):
+        with pytest.raises(ValueError, match="k must be positive"):
+            library_similarity_topk(small_trace, k=0)
+
+
+class TestRewire:
+    def test_adds_semantic_edges(self, small_trace, sim_table):
+        topo = flat_random(small_trace.n_peers, 4.0, seed=1)
+        rewired = semantic_rewire(topo, sim_table, n_links=3)
+        assert rewired.n_edges >= topo.n_edges
+        # Semantic neighbors appear in the adjacency.
+        p = int(np.flatnonzero(sim_table[:, 0] >= 0)[0])
+        assert int(sim_table[p, 0]) in rewired.neighbors_of(p)
+
+    def test_keeps_random_edges(self, small_trace, sim_table):
+        topo = flat_random(small_trace.n_peers, 4.0, seed=1)
+        rewired = semantic_rewire(topo, sim_table, n_links=2)
+        for v in range(0, topo.n_nodes, 17):
+            original = set(topo.neighbors_of(v).tolist())
+            assert original <= set(rewired.neighbors_of(v).tolist())
+
+    def test_zero_links_is_identity(self, small_trace, sim_table):
+        topo = flat_random(small_trace.n_peers, 4.0, seed=1)
+        rewired = semantic_rewire(topo, sim_table, n_links=0)
+        np.testing.assert_array_equal(rewired.neighbors, topo.neighbors)
+
+    def test_validation(self, small_trace, sim_table):
+        topo = flat_random(small_trace.n_peers, 4.0, seed=1)
+        with pytest.raises(ValueError, match="n_links"):
+            semantic_rewire(topo, sim_table, n_links=-1)
+        with pytest.raises(ValueError, match="every node"):
+            semantic_rewire(topo, sim_table[:10], n_links=1)
+
+
+class TestNeighborhoodHitRate:
+    def test_clustering_improves_hit_rate(self, small_trace, sim_table):
+        """The eDonkey-study effect: similar neighbors hold what you want."""
+        topo = flat_random(small_trace.n_peers, 4.0, seed=2)
+        clustered = semantic_rewire(topo, sim_table, n_links=3)
+        base = neighborhood_hit_rate(topo, small_trace, n_samples=250, seed=3)
+        clus = neighborhood_hit_rate(clustered, small_trace, n_samples=250, seed=3)
+        assert clus > base
+
+    def test_radius_two_at_least_radius_one(self, small_trace):
+        topo = flat_random(small_trace.n_peers, 4.0, seed=2)
+        r1 = neighborhood_hit_rate(topo, small_trace, n_samples=150, radius=1, seed=4)
+        r2 = neighborhood_hit_rate(topo, small_trace, n_samples=150, radius=2, seed=4)
+        assert r2 >= r1
+
+    def test_validation(self, small_trace):
+        topo = flat_random(small_trace.n_peers, 4.0, seed=2)
+        with pytest.raises(ValueError, match="n_samples"):
+            neighborhood_hit_rate(topo, small_trace, n_samples=0)
+        with pytest.raises(ValueError, match="radius"):
+            neighborhood_hit_rate(topo, small_trace, n_samples=10, radius=0)

@@ -1,0 +1,80 @@
+"""Tests for repro.overlay.shortcuts — interest-based shortcuts."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.overlay.shortcuts import (
+    ShortcutConfig,
+    ShortcutList,
+    simulate_shortcuts,
+)
+
+
+class TestShortcutList:
+    def test_lru_order(self):
+        sl = ShortcutList(capacity=3)
+        for p in (1, 2, 3):
+            sl.add(p)
+        assert sl.candidates(3) == [3, 2, 1]
+
+    def test_refresh_moves_to_front(self):
+        sl = ShortcutList(capacity=3)
+        for p in (1, 2, 3):
+            sl.add(p)
+        sl.add(1)
+        assert sl.candidates(3) == [1, 3, 2]
+
+    def test_eviction(self):
+        sl = ShortcutList(capacity=2)
+        for p in (1, 2, 3):
+            sl.add(p)
+        assert 1 not in sl
+        assert len(sl) == 2
+
+    def test_budget_truncates(self):
+        sl = ShortcutList(capacity=5)
+        for p in range(5):
+            sl.add(p)
+        assert len(sl.candidates(2)) == 2
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError, match="capacity"):
+            ShortcutList(0)
+
+
+class TestSimulation:
+    @pytest.fixture(scope="class")
+    def report(self, small_workload, small_content):
+        return simulate_shortcuts(
+            small_workload, small_content, max_queries=6_000, n_requesters=20, seed=1
+        )
+
+    def test_hit_rate_positive(self, report):
+        """Interest locality exists: the persistent core repeats."""
+        assert report.shortcut_hit_rate > 0.15
+
+    def test_transient_queries_benefit_most(self, report):
+        if np.isnan(report.hit_rate_transient):
+            pytest.skip("no transient queries reached the sample")
+        assert report.hit_rate_transient >= report.hit_rate_persistent
+
+    def test_probes_within_budget(self, report):
+        assert 1.0 <= report.mean_probes_on_hit <= 5.0
+
+    def test_fewer_requesters_hit_more(self, small_workload, small_content):
+        """Fewer requesters = each sees more repetition = better shortcuts."""
+        few = simulate_shortcuts(
+            small_workload, small_content, max_queries=5_000, n_requesters=5, seed=2
+        )
+        many = simulate_shortcuts(
+            small_workload, small_content, max_queries=5_000, n_requesters=200, seed=2
+        )
+        assert few.shortcut_hit_rate > many.shortcut_hit_rate
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError, match="capacity"):
+            ShortcutConfig(capacity=0)
+        with pytest.raises(ValueError, match="probe_budget"):
+            ShortcutConfig(probe_budget=0)

@@ -1,0 +1,139 @@
+"""Tests for repro.overlay.topology."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.overlay.topology import (
+    Topology,
+    flat_random,
+    from_networkx,
+    two_tier_gnutella,
+)
+
+
+def assert_symmetric(topo: Topology) -> None:
+    edges = set()
+    for v in range(topo.n_nodes):
+        for w in topo.neighbors_of(v):
+            edges.add((v, int(w)))
+    for v, w in edges:
+        assert (w, v) in edges
+
+
+class TestCsrInvariants:
+    def test_flat_random_valid(self, small_flat):
+        assert small_flat.offsets[0] == 0
+        assert small_flat.offsets[-1] == small_flat.neighbors.size
+        assert_symmetric(small_flat)
+
+    def test_no_self_loops(self, small_flat):
+        for v in range(small_flat.n_nodes):
+            assert v not in small_flat.neighbors_of(v)
+
+    def test_no_parallel_edges(self, small_flat):
+        for v in range(small_flat.n_nodes):
+            neigh = small_flat.neighbors_of(v)
+            assert np.unique(neigh).size == neigh.size
+
+    def test_degree_vector(self, small_flat):
+        degs = small_flat.degree()
+        assert degs.sum() == small_flat.neighbors.size
+        assert small_flat.degree(0) == degs[0]
+
+    def test_n_edges(self, small_flat):
+        assert small_flat.n_edges == small_flat.neighbors.size // 2
+
+    def test_avg_degree_near_target(self):
+        topo = flat_random(2_000, 10.0, seed=1)
+        assert topo.degree().mean() == pytest.approx(10.0, rel=0.1)
+
+
+class TestTwoTier:
+    def test_prefix_nodes_are_ultrapeers(self, small_two_tier):
+        n_up = int(small_two_tier.forwards.sum())
+        assert small_two_tier.forwards[:n_up].all()
+        assert not small_two_tier.forwards[n_up:].any()
+
+    def test_ultrapeer_fraction(self):
+        topo = two_tier_gnutella(1_000, ultrapeer_fraction=0.25, seed=1)
+        assert int(topo.forwards.sum()) == 250
+
+    def test_leaves_connect_only_to_ultrapeers(self, small_two_tier):
+        n_up = int(small_two_tier.forwards.sum())
+        for v in range(n_up, small_two_tier.n_nodes):
+            neigh = small_two_tier.neighbors_of(v)
+            assert (neigh < n_up).all()
+
+    def test_leaf_connection_count(self):
+        topo = two_tier_gnutella(500, leaf_up_connections=2, seed=3)
+        n_up = int(topo.forwards.sum())
+        leaf_degrees = topo.degree()[n_up:]
+        assert leaf_degrees.max() <= 2  # duplicates merged, so <= 2
+        assert leaf_degrees.min() >= 1
+
+    def test_symmetric(self, small_two_tier):
+        assert_symmetric(small_two_tier)
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError, match="ultrapeer_fraction"):
+            two_tier_gnutella(100, ultrapeer_fraction=0.0)
+
+    def test_invalid_leaf_connections(self):
+        with pytest.raises(ValueError, match="ultrapeer connection"):
+            two_tier_gnutella(100, leaf_up_connections=0)
+
+
+class TestNetworkxInterop:
+    def test_roundtrip(self):
+        g = nx.cycle_graph(10)
+        topo = from_networkx(g)
+        g2 = topo.to_networkx()
+        assert nx.is_isomorphic(g, g2)
+
+    def test_forwards_attribute_honored(self):
+        g = nx.path_graph(3)
+        g.nodes[1]["forwards"] = False
+        topo = from_networkx(g)
+        np.testing.assert_array_equal(topo.forwards, [True, False, True])
+
+    def test_forwards_exported(self, small_two_tier):
+        g = small_two_tier.to_networkx()
+        assert g.nodes[0]["forwards"] is True
+        assert g.nodes[small_two_tier.n_nodes - 1]["forwards"] is False
+
+    def test_bad_labels_raise(self):
+        g = nx.Graph()
+        g.add_edge("a", "b")
+        with pytest.raises(ValueError, match="labeled"):
+            from_networkx(g)
+
+
+class TestValidation:
+    def test_inconsistent_offsets_raise(self):
+        with pytest.raises(ValueError, match="inconsistent"):
+            Topology(
+                np.array([0, 2]), np.array([1]), np.array([True, True])
+            )
+
+    def test_bad_forwards_shape(self):
+        with pytest.raises(ValueError, match="one entry per node"):
+            Topology(np.array([0, 0]), np.empty(0, dtype=np.int64), np.array([], dtype=bool).reshape(0,))
+            # single node but zero-length forwards
+
+    def test_flat_random_invalid_degree(self):
+        with pytest.raises(ValueError, match="avg_degree"):
+            flat_random(10, 0.0)
+        with pytest.raises(ValueError, match="avg_degree"):
+            flat_random(10, 10.0)
+
+    def test_flat_random_needs_two_nodes(self):
+        with pytest.raises(ValueError, match="two nodes"):
+            flat_random(1, 0.5)
+
+    def test_deterministic(self):
+        a = flat_random(100, 5.0, seed=4)
+        b = flat_random(100, 5.0, seed=4)
+        np.testing.assert_array_equal(a.neighbors, b.neighbors)

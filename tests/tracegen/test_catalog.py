@@ -1,0 +1,115 @@
+"""Tests for repro.tracegen.catalog."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.tracegen.catalog import CANONICAL_GENRES, CatalogConfig, MusicCatalog
+from repro.utils.rng import make_rng
+
+
+@pytest.fixture(scope="module")
+def catalog() -> MusicCatalog:
+    return MusicCatalog(
+        CatalogConfig(n_songs=2_000, n_artists=200, lexicon_size=3_000, seed=7)
+    )
+
+
+class TestCatalogStructure:
+    def test_title_csr_consistent(self, catalog):
+        assert catalog.title_offsets[0] == 0
+        assert catalog.title_offsets[-1] == catalog.title_terms.size
+        lengths = np.diff(catalog.title_offsets)
+        cfg = catalog.config
+        assert lengths.min() >= cfg.min_title_words
+        assert lengths.max() <= cfg.max_title_words
+
+    def test_title_terms_within_lexicon(self, catalog):
+        assert catalog.title_terms.min() >= 0
+        assert catalog.title_terms.max() < catalog.config.lexicon_size
+
+    def test_song_artist_in_range(self, catalog):
+        assert catalog.song_artist.min() >= 0
+        assert catalog.song_artist.max() < catalog.config.n_artists
+
+    def test_artist_rank_correlates_with_song_rank(self, catalog):
+        # Popular (low-id) songs belong to low-id artists: Spearman-ish
+        # check via the mapping's monotone backbone.
+        songs = np.arange(catalog.n_songs)
+        corr = np.corrcoef(songs, catalog.song_artist)[0, 1]
+        assert corr > 0.9
+
+    def test_album_ids_consistent_with_artist(self, catalog):
+        per = catalog._albums_per_artist
+        np.testing.assert_array_equal(catalog.song_album // per, catalog.song_artist)
+
+    def test_genres_include_canonical(self, catalog):
+        assert catalog.genre_names[: len(CANONICAL_GENRES)] == CANONICAL_GENRES
+        assert len(catalog.genre_names) == catalog.config.n_genres
+
+    def test_song_genre_range(self, catalog):
+        assert catalog.song_genre.min() >= 0
+        assert catalog.song_genre.max() < catalog.config.n_genres
+
+
+class TestCatalogRendering:
+    def test_canonical_name_format(self, catalog):
+        name = catalog.canonical_name(0)
+        assert " - " in name and name.endswith(".mp3")
+
+    def test_custom_extension(self, catalog):
+        assert catalog.canonical_name(0, extension="wma").endswith(".wma")
+
+    def test_song_term_ids_is_artist_plus_title(self, catalog):
+        s = 17
+        terms = catalog.song_term_ids(s)
+        artist_terms = catalog.artist_term_ids(int(catalog.song_artist[s]))
+        np.testing.assert_array_equal(terms[: artist_terms.size], artist_terms)
+
+    def test_title_words_appear_in_name(self, catalog):
+        s = 5
+        name = catalog.canonical_name(s).lower()
+        for t in catalog.title_term_ids(s):
+            assert catalog.lexicon.word(int(t)) in name
+
+
+class TestCatalogSampling:
+    def test_sample_songs_in_range(self, catalog):
+        s = catalog.sample_songs(10_000, make_rng(0))
+        assert s.min() >= 0 and s.max() < catalog.n_songs
+
+    def test_popular_songs_sampled_more(self, catalog):
+        s = catalog.sample_songs(50_000, make_rng(0))
+        counts = np.bincount(s, minlength=catalog.n_songs)
+        head = counts[: catalog.n_songs // 10].mean()
+        tail = counts[-catalog.n_songs // 10 :].mean()
+        assert head > tail
+
+    def test_deterministic(self, catalog):
+        a = catalog.sample_songs(100, make_rng(5))
+        b = catalog.sample_songs(100, make_rng(5))
+        np.testing.assert_array_equal(a, b)
+
+
+class TestCatalogConfigValidation:
+    def test_defaults_valid(self):
+        CatalogConfig()
+
+    def test_nonpositive_songs(self):
+        with pytest.raises(ValueError, match="positive"):
+            CatalogConfig(n_songs=0)
+
+    def test_too_few_genres(self):
+        with pytest.raises(ValueError, match="canonical"):
+            CatalogConfig(n_genres=5)
+
+    def test_bad_title_range(self):
+        with pytest.raises(ValueError, match="title"):
+            CatalogConfig(min_title_words=3, max_title_words=2)
+
+    def test_same_seed_same_catalog(self):
+        cfg = CatalogConfig(n_songs=200, n_artists=20, lexicon_size=500, seed=9)
+        a, b = MusicCatalog(cfg), MusicCatalog(cfg)
+        np.testing.assert_array_equal(a.title_terms, b.title_terms)
+        np.testing.assert_array_equal(a.song_artist, b.song_artist)

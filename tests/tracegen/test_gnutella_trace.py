@@ -1,0 +1,188 @@
+"""Tests for repro.tracegen.gnutella_trace."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.tracegen.catalog import CatalogConfig, MusicCatalog
+from repro.tracegen.gnutella_trace import GnutellaShareTrace, GnutellaTraceConfig
+
+
+class TestTraceStructure:
+    def test_csr_consistent(self, small_trace):
+        assert small_trace.peer_offsets[0] == 0
+        assert small_trace.peer_offsets[-1] == small_trace.song_ids.size
+        assert small_trace.name_ids.size == small_trace.song_ids.size
+        assert np.all(np.diff(small_trace.peer_offsets) >= 0)
+
+    def test_all_names_assigned(self, small_trace):
+        assert small_trace.name_ids.min() >= 0
+
+    def test_peer_of_instance_matches_offsets(self, small_trace):
+        for p in (0, 5, small_trace.n_peers - 1):
+            sl = small_trace.peer_instance_slice(p)
+            assert np.all(small_trace.peer_of_instance[sl] == p)
+
+    def test_accessors_agree(self, small_trace):
+        p = 3
+        np.testing.assert_array_equal(
+            small_trace.peer_name_ids(p),
+            small_trace.name_ids[small_trace.peer_instance_slice(p)],
+        )
+        np.testing.assert_array_equal(
+            small_trace.peer_song_ids(p),
+            small_trace.song_ids[small_trace.peer_instance_slice(p)],
+        )
+
+    def test_unique_names_order_matches_interner(self, small_trace):
+        names = small_trace.unique_names()
+        # The interner may hold a few canonical spellings that no
+        # instance ended up using (CRP seeding), never fewer.
+        assert len(names) >= small_trace.n_unique_names
+        assert names[0] == small_trace.names.lookup(0)
+
+
+class TestReplicaCounts:
+    def test_matches_bruteforce(self, small_trace):
+        counts = small_trace.replica_counts()
+        # Brute force with Python sets.
+        seen: dict[int, set[int]] = {}
+        for i in range(small_trace.n_instances):
+            seen.setdefault(int(small_trace.name_ids[i]), set()).add(
+                int(small_trace.peer_of_instance[i])
+            )
+        for name_id, peers in list(seen.items())[:500]:
+            assert counts[name_id] == len(peers)
+
+    def test_total_consistency(self, small_trace):
+        counts = small_trace.replica_counts()
+        assert counts.sum() <= small_trace.n_instances
+        assert np.count_nonzero(counts) == small_trace.n_unique_names
+
+    def test_song_replicas_at_least_name_replicas(self, small_trace):
+        # A song's peer set is the union of its name-variants' peer sets.
+        song_counts = small_trace.replica_counts(small_trace.song_ids)
+        name_counts = small_trace.replica_counts()
+        assert song_counts.max() >= name_counts.max() - 1
+
+    def test_wrong_shape_raises(self, small_trace):
+        with pytest.raises(ValueError, match="per-instance"):
+            small_trace.replica_counts(np.array([1, 2, 3]))
+
+
+class TestTraceGeneration:
+    def test_deterministic(self, small_catalog):
+        cfg = GnutellaTraceConfig(n_peers=50, mean_library_size=30.0, seed=2)
+        a = GnutellaShareTrace(small_catalog, cfg)
+        b = GnutellaShareTrace(small_catalog, cfg)
+        np.testing.assert_array_equal(a.song_ids, b.song_ids)
+        np.testing.assert_array_equal(a.name_ids, b.name_ids)
+        assert a.unique_names() == b.unique_names()
+
+    def test_seed_changes_trace(self, small_catalog):
+        a = GnutellaShareTrace(
+            small_catalog, GnutellaTraceConfig(n_peers=50, mean_library_size=30.0, seed=2)
+        )
+        b = GnutellaShareTrace(
+            small_catalog, GnutellaTraceConfig(n_peers=50, mean_library_size=30.0, seed=3)
+        )
+        assert not np.array_equal(a.song_ids, b.song_ids)
+
+    def test_generic_names_present(self, small_catalog):
+        tr = GnutellaShareTrace(
+            small_catalog,
+            GnutellaTraceConfig(n_peers=80, mean_library_size=60.0, p_generic=0.2, seed=4),
+        )
+        names = tr.unique_names()
+        assert any("Track" in n for n in names)
+
+    def test_no_generic_when_disabled(self, small_catalog):
+        tr = GnutellaShareTrace(
+            small_catalog,
+            GnutellaTraceConfig(n_peers=40, mean_library_size=30.0, p_generic=0.0, seed=4),
+        )
+        assert not any(n.endswith("Track.wma") for n in tr.unique_names())
+
+    def test_zero_alpha_means_canonical_or_generic_only(self, small_catalog):
+        tr = GnutellaShareTrace(
+            small_catalog,
+            GnutellaTraceConfig(
+                n_peers=40, mean_library_size=30.0, variant_alpha=0.0,
+                p_generic=0.0, seed=4,
+            ),
+        )
+        # Every observed name must be some song's canonical name.
+        canonicals = {
+            small_catalog.canonical_name(int(s)) for s in np.unique(tr.song_ids)
+        }
+        assert set(tr.unique_names()) <= canonicals
+
+
+class TestConfigValidation:
+    def test_bad_peers(self):
+        with pytest.raises(ValueError, match="n_peers"):
+            GnutellaTraceConfig(n_peers=0)
+
+    def test_bad_library(self):
+        with pytest.raises(ValueError, match="mean_library_size"):
+            GnutellaTraceConfig(mean_library_size=0)
+
+    def test_bad_alpha(self):
+        with pytest.raises(ValueError, match="variant_alpha"):
+            GnutellaTraceConfig(variant_alpha=-1)
+
+    def test_bad_canonical_weight(self):
+        with pytest.raises(ValueError, match="canonical_weight"):
+            GnutellaTraceConfig(canonical_weight=0)
+
+    def test_bad_probabilities(self):
+        with pytest.raises(ValueError, match="p_flat_reuse"):
+            GnutellaTraceConfig(p_flat_reuse=2.0)
+        with pytest.raises(ValueError, match="p_generic"):
+            GnutellaTraceConfig(p_generic=-0.1)
+
+
+class TestFreeRiders:
+    def test_freerider_fraction(self, small_catalog):
+        tr = GnutellaShareTrace(
+            small_catalog,
+            GnutellaTraceConfig(
+                n_peers=400, mean_library_size=40.0, p_freerider=0.3, seed=6
+            ),
+        )
+        sizes = np.diff(tr.peer_offsets)
+        assert np.mean(sizes == 0) == pytest.approx(0.3, abs=0.08)
+
+    def test_freeriders_share_nothing(self, small_catalog):
+        tr = GnutellaShareTrace(
+            small_catalog,
+            GnutellaTraceConfig(
+                n_peers=200, mean_library_size=40.0, p_freerider=0.5, seed=6
+            ),
+        )
+        sizes = np.diff(tr.peer_offsets)
+        for p in np.flatnonzero(sizes == 0)[:20]:
+            assert tr.peer_name_ids(int(p)).size == 0
+
+    def test_shape_statistics_robust_to_freeriding(self, small_catalog):
+        """Free riders change who shares, not the shape of what's shared."""
+        from repro.analysis.replication import summarize_replication
+
+        base = GnutellaShareTrace(
+            small_catalog,
+            GnutellaTraceConfig(n_peers=400, mean_library_size=60.0, seed=7),
+        )
+        riding = GnutellaShareTrace(
+            small_catalog,
+            GnutellaTraceConfig(
+                n_peers=400, mean_library_size=60.0, p_freerider=0.25, seed=7
+            ),
+        )
+        a = summarize_replication(base.replica_counts(), base.n_peers)
+        b = summarize_replication(riding.replica_counts(), riding.n_peers)
+        assert abs(a.singleton_fraction - b.singleton_fraction) < 0.08
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError, match="p_freerider"):
+            GnutellaTraceConfig(p_freerider=1.5)

@@ -1,0 +1,77 @@
+"""Tests for repro.tracegen.io — trace persistence."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.tracegen.io import load_trace, load_workload, save_trace, save_workload
+
+
+class TestTraceRoundtrip:
+    def test_arrays_identical(self, small_trace, tmp_path):
+        path = tmp_path / "trace.npz"
+        save_trace(small_trace, path)
+        loaded = load_trace(path)
+        np.testing.assert_array_equal(loaded.peer_offsets, small_trace.peer_offsets)
+        np.testing.assert_array_equal(loaded.song_ids, small_trace.song_ids)
+        np.testing.assert_array_equal(loaded.name_ids, small_trace.name_ids)
+        assert loaded.unique_names() == small_trace.unique_names()
+
+    def test_configs_identical(self, small_trace, tmp_path):
+        path = tmp_path / "trace.npz"
+        save_trace(small_trace, path)
+        loaded = load_trace(path)
+        assert loaded.config == small_trace.config
+        assert loaded.catalog.config == small_trace.catalog.config
+
+    def test_analyses_agree(self, small_trace, tmp_path):
+        path = tmp_path / "trace.npz"
+        save_trace(small_trace, path)
+        loaded = load_trace(path)
+        np.testing.assert_array_equal(
+            loaded.replica_counts(), small_trace.replica_counts()
+        )
+
+    def test_peer_of_instance_rebuilt(self, small_trace, tmp_path):
+        path = tmp_path / "trace.npz"
+        save_trace(small_trace, path)
+        loaded = load_trace(path)
+        np.testing.assert_array_equal(
+            loaded.peer_of_instance, small_trace.peer_of_instance
+        )
+
+    def test_wrong_kind_rejected(self, small_workload, tmp_path):
+        path = tmp_path / "wl.npz"
+        save_workload(small_workload, path)
+        with pytest.raises(ValueError, match="not a saved share trace"):
+            load_trace(path)
+
+
+class TestWorkloadRoundtrip:
+    def test_arrays_identical(self, small_workload, tmp_path):
+        path = tmp_path / "wl.npz"
+        save_workload(small_workload, path)
+        loaded = load_workload(path)
+        np.testing.assert_array_equal(loaded.timestamps, small_workload.timestamps)
+        np.testing.assert_array_equal(loaded.term_offsets, small_workload.term_offsets)
+        np.testing.assert_array_equal(loaded.term_ids, small_workload.term_ids)
+        np.testing.assert_array_equal(loaded.is_burst, small_workload.is_burst)
+
+    def test_vocab_rebuilt(self, small_workload, tmp_path):
+        path = tmp_path / "wl.npz"
+        save_workload(small_workload, path)
+        loaded = load_workload(path)
+        assert loaded.vocab_words == small_workload.vocab_words
+
+    def test_bursts_roundtrip(self, small_workload, tmp_path):
+        path = tmp_path / "wl.npz"
+        save_workload(small_workload, path)
+        loaded = load_workload(path)
+        assert loaded.bursts == small_workload.bursts
+
+    def test_wrong_kind_rejected(self, small_trace, tmp_path):
+        path = tmp_path / "tr.npz"
+        save_trace(small_trace, path)
+        with pytest.raises(ValueError, match="not a saved query workload"):
+            load_workload(path)

@@ -1,0 +1,55 @@
+"""Failure-injection tests for trace persistence."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.tracegen.io import load_trace, load_workload, save_trace
+
+
+class TestLoadFailures:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_trace(tmp_path / "nope.npz")
+
+    def test_not_an_npz(self, tmp_path):
+        path = tmp_path / "garbage.npz"
+        path.write_bytes(b"this is not a zip archive")
+        with pytest.raises(Exception):  # numpy raises zipfile/OSError variants
+            load_trace(path)
+
+    def test_random_npz_without_kind(self, tmp_path):
+        path = tmp_path / "random.npz"
+        np.savez(path, a=np.arange(3))
+        with pytest.raises(KeyError):
+            load_trace(path)
+
+    def test_wrong_format_version(self, small_trace, tmp_path):
+        path = tmp_path / "trace.npz"
+        save_trace(small_trace, path)
+        # Rewrite with a bumped version.
+        with np.load(path, allow_pickle=True) as data:
+            payload = {k: data[k] for k in data.files}
+        payload["format_version"] = np.int64(999)
+        np.savez(path, **payload)
+        with pytest.raises(ValueError, match="format version"):
+            load_trace(path)
+
+    def test_kind_mismatch_is_actionable(self, small_trace, tmp_path):
+        path = tmp_path / "trace.npz"
+        save_trace(small_trace, path)
+        with pytest.raises(ValueError, match="query workload"):
+            load_workload(path)
+
+    def test_truncated_arrays_detectable(self, small_trace, tmp_path):
+        """A tampered payload loads but fails the CSR sanity check."""
+        path = tmp_path / "trace.npz"
+        save_trace(small_trace, path)
+        with np.load(path, allow_pickle=True) as data:
+            payload = {k: data[k] for k in data.files}
+        payload["song_ids"] = payload["song_ids"][:10]
+        np.savez(path, **payload)
+        loaded = load_trace(path)
+        # Offsets no longer match the instance arrays.
+        assert loaded.peer_offsets[-1] != loaded.song_ids.size

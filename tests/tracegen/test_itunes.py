@@ -1,0 +1,115 @@
+"""Tests for repro.tracegen.itunes_trace."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.tracegen.itunes_trace import MISSING, ITunesShareTrace, ITunesTraceConfig
+
+
+class TestStructure:
+    def test_csr_consistent(self, small_itunes):
+        assert small_itunes.user_offsets[0] == 0
+        assert small_itunes.user_offsets[-1] == small_itunes.song_ids.size
+        assert np.all(np.diff(small_itunes.user_offsets) >= 1)
+
+    def test_annotation_arrays_aligned(self, small_itunes):
+        n = small_itunes.n_instances
+        for arr in (
+            small_itunes.artist_ids,
+            small_itunes.album_ids,
+            small_itunes.genre_ids,
+        ):
+            assert arr.shape == (n,)
+
+    def test_annotations_from_catalog_when_present(self, small_itunes):
+        cat = small_itunes.catalog
+        present = small_itunes.album_ids != MISSING
+        np.testing.assert_array_equal(
+            small_itunes.album_ids[present],
+            cat.song_album[small_itunes.song_ids[present]],
+        )
+        np.testing.assert_array_equal(
+            small_itunes.artist_ids, cat.song_artist[small_itunes.song_ids]
+        )
+
+    def test_genre_labels_cover_ids(self, small_itunes):
+        max_genre = small_itunes.genre_ids.max()
+        assert max_genre < len(small_itunes.genre_labels)
+
+    def test_custom_genres_created(self, small_catalog):
+        tr = ITunesShareTrace(
+            small_catalog,
+            ITunesTraceConfig(n_users=30, mean_library_size=200.0, p_custom_genre=0.3, seed=2),
+        )
+        n_base = len(small_catalog.genre_names)
+        assert (tr.genre_ids >= n_base).any()
+        assert any(label.endswith(" Mix") for label in tr.genre_labels[n_base:])
+
+    def test_no_custom_genres_when_disabled(self, small_catalog):
+        tr = ITunesShareTrace(
+            small_catalog,
+            ITunesTraceConfig(n_users=20, mean_library_size=100.0, p_custom_genre=0.0, seed=2),
+        )
+        n_base = len(small_catalog.genre_names)
+        valid = tr.genre_ids[tr.genre_ids != MISSING]
+        assert valid.max() < n_base
+
+
+class TestClientsPerValue:
+    def test_matches_bruteforce(self, small_itunes):
+        counts = small_itunes.clients_per_value(small_itunes.artist_ids)
+        seen: dict[int, set[int]] = {}
+        for i in range(small_itunes.n_instances):
+            a = int(small_itunes.artist_ids[i])
+            if a != MISSING:
+                seen.setdefault(a, set()).add(int(small_itunes.user_of_instance[i]))
+        for a, users in list(seen.items())[:300]:
+            assert counts[a] == len(users)
+
+    def test_missing_excluded(self, small_itunes):
+        counts = small_itunes.clients_per_value(small_itunes.genre_ids)
+        assert counts.min() >= 0  # MISSING never indexes the counts
+
+    def test_wrong_shape_raises(self, small_itunes):
+        with pytest.raises(ValueError, match="per-instance"):
+            small_itunes.clients_per_value(np.array([1, 2]))
+
+
+class TestMissing:
+    def test_missing_fraction_tracks_config(self, small_catalog):
+        tr = ITunesShareTrace(
+            small_catalog,
+            ITunesTraceConfig(
+                n_users=60, mean_library_size=300.0,
+                p_missing_genre=0.25, p_missing_album=0.10, seed=3,
+            ),
+        )
+        assert tr.missing_fraction(tr.genre_ids) == pytest.approx(0.25, abs=0.02)
+        assert tr.missing_fraction(tr.album_ids) == pytest.approx(0.10, abs=0.02)
+
+    def test_empty_raises(self, small_itunes):
+        with pytest.raises(ValueError, match="empty"):
+            small_itunes.missing_fraction(np.array([]))
+
+
+class TestConfigValidation:
+    def test_bad_users(self):
+        with pytest.raises(ValueError, match="n_users"):
+            ITunesTraceConfig(n_users=0)
+
+    def test_bad_library(self):
+        with pytest.raises(ValueError, match="mean_library_size"):
+            ITunesTraceConfig(mean_library_size=-1)
+
+    def test_bad_probability(self):
+        with pytest.raises(ValueError, match="p_missing_genre"):
+            ITunesTraceConfig(p_missing_genre=1.2)
+
+    def test_deterministic(self, small_catalog):
+        cfg = ITunesTraceConfig(n_users=20, mean_library_size=100.0, seed=5)
+        a = ITunesShareTrace(small_catalog, cfg)
+        b = ITunesShareTrace(small_catalog, cfg)
+        np.testing.assert_array_equal(a.song_ids, b.song_ids)
+        np.testing.assert_array_equal(a.genre_ids, b.genre_ids)

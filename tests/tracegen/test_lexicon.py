@@ -1,0 +1,56 @@
+"""Tests for repro.tracegen.lexicon."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.tracegen.lexicon import Lexicon
+
+
+class TestLexicon:
+    def test_words_unique(self):
+        lex = Lexicon(2_000, seed=1)
+        assert len(set(lex.words)) == 2_000
+
+    def test_deterministic(self):
+        a = Lexicon(500, seed=3)
+        b = Lexicon(500, seed=3)
+        assert a.words == b.words
+
+    def test_seed_changes_words(self):
+        a = Lexicon(200, seed=1)
+        b = Lexicon(200, seed=2)
+        assert a.words != b.words
+
+    def test_word_id_roundtrip(self):
+        lex = Lexicon(100, seed=0)
+        for i in (0, 42, 99):
+            assert lex.word_id(lex.word(i)) == i
+
+    def test_len_and_contains(self):
+        lex = Lexicon(10, seed=0)
+        assert len(lex) == 10
+        assert lex.word(0) in lex
+        assert "definitely-not-a-word!" not in lex
+
+    def test_join(self):
+        lex = Lexicon(10, seed=0)
+        joined = lex.join(np.array([0, 1]))
+        assert joined == f"{lex.word(0)} {lex.word(1)}"
+
+    def test_join_custom_separator(self):
+        lex = Lexicon(10, seed=0)
+        assert "-" in lex.join(np.array([0, 1]), sep="-")
+
+    def test_words_lowercase_alpha(self):
+        lex = Lexicon(300, seed=5)
+        assert all(w.isalpha() and w.islower() for w in lex.words)
+
+    def test_invalid_size_raises(self):
+        with pytest.raises(ValueError, match="positive"):
+            Lexicon(0)
+
+    def test_unknown_word_raises(self):
+        with pytest.raises(KeyError):
+            Lexicon(10, seed=0).word_id("nope-nope")

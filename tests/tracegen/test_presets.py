@@ -1,0 +1,95 @@
+"""Tests for repro.tracegen.presets — the documented scale relationships."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.tracegen import presets
+from repro.tracegen.catalog import CatalogConfig, MusicCatalog
+from repro.tracegen.gnutella_trace import GnutellaTraceConfig
+from repro.tracegen.itunes_trace import ITunesTraceConfig
+from repro.tracegen.query_trace import QueryWorkloadConfig
+
+
+class TestPresetValidity:
+    def test_all_presets_construct(self):
+        for preset in (
+            presets.CATALOG_DEFAULT,
+            presets.CATALOG_FULL,
+            presets.CATALOG_ITUNES,
+            presets.GNUTELLA_DEFAULT,
+            presets.GNUTELLA_APRIL_2007,
+            presets.ITUNES_DEFAULT,
+            presets.ITUNES_SPRING_2007,
+            presets.QUERIES_DEFAULT,
+            presets.QUERIES_WEEK_APRIL_2007,
+        ):
+            assert preset is not None  # __post_init__ already validated
+
+    def test_types(self):
+        assert isinstance(presets.CATALOG_FULL, CatalogConfig)
+        assert isinstance(presets.GNUTELLA_APRIL_2007, GnutellaTraceConfig)
+        assert isinstance(presets.ITUNES_SPRING_2007, ITunesTraceConfig)
+        assert isinstance(presets.QUERIES_WEEK_APRIL_2007, QueryWorkloadConfig)
+
+
+class TestPaperPopulations:
+    def test_gnutella_full_scale_matches_paper(self):
+        cfg = presets.GNUTELLA_APRIL_2007
+        assert cfg.n_peers == 37_572
+        # ~12M instances, as crawled.
+        assert cfg.n_peers * cfg.mean_library_size == pytest.approx(12e6, rel=0.05)
+
+    def test_itunes_full_scale_matches_paper(self):
+        cfg = presets.ITUNES_SPRING_2007
+        assert cfg.n_users == 239
+        # ~534k objects.
+        assert cfg.n_users * cfg.mean_library_size == pytest.approx(533_768, rel=0.05)
+
+    def test_query_week_matches_paper(self):
+        cfg = presets.QUERIES_WEEK_APRIL_2007
+        assert cfg.n_queries == 2_500_000
+        assert cfg.duration_s == pytest.approx(7 * 86_400.0)
+
+
+class TestScaleRatios:
+    def test_full_catalog_keeps_calibrated_ratio(self):
+        """CATALOG_FULL preserves the calibrated songs/instances ratio."""
+        default_ratio = (
+            presets.CATALOG_DEFAULT.n_songs
+            / (
+                presets.GNUTELLA_DEFAULT.n_peers
+                * presets.GNUTELLA_DEFAULT.mean_library_size
+            )
+        )
+        full_ratio = presets.CATALOG_FULL.n_songs / (
+            presets.GNUTELLA_APRIL_2007.n_peers
+            * presets.GNUTELLA_APRIL_2007.mean_library_size
+        )
+        assert full_ratio == pytest.approx(default_ratio, rel=0.1)
+
+    def test_itunes_catalog_larger_and_steeper(self):
+        assert presets.CATALOG_ITUNES.n_songs > presets.CATALOG_DEFAULT.n_songs
+        assert (
+            presets.CATALOG_ITUNES.popularity_exponent
+            > presets.CATALOG_DEFAULT.popularity_exponent
+        )
+
+    def test_itunes_default_is_usable_with_its_catalog(self):
+        """The preset pair builds without error at a small user count."""
+        catalog = MusicCatalog(
+            CatalogConfig(
+                n_songs=20_000,
+                n_artists=2_000,
+                n_genres=presets.CATALOG_ITUNES.n_genres,
+                lexicon_size=15_000,
+                popularity_exponent=presets.CATALOG_ITUNES.popularity_exponent,
+                seed=3,
+            )
+        )
+        from repro.tracegen.itunes_trace import ITunesShareTrace
+
+        trace = ITunesShareTrace(
+            catalog, ITunesTraceConfig(n_users=10, mean_library_size=50.0, seed=3)
+        )
+        assert trace.n_instances > 0

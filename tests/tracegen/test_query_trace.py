@@ -1,0 +1,241 @@
+"""Tests for repro.tracegen.query_trace."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.tracegen.query_trace import (
+    QueryWorkload,
+    QueryWorkloadConfig,
+    file_term_peer_counts,
+)
+
+
+@pytest.fixture(scope="module")
+def term_counts(small_trace):
+    return file_term_peer_counts(small_trace)
+
+
+@pytest.fixture(scope="module")
+def workload(small_trace, term_counts):
+    return QueryWorkload(
+        small_trace.catalog,
+        term_counts,
+        QueryWorkloadConfig(n_queries=30_000, vocab_size=600, popular_file_pool=300, seed=3),
+    )
+
+
+class TestFileTermPeerCounts:
+    def test_covers_lexicon(self, small_trace, term_counts):
+        assert term_counts.shape == (small_trace.catalog.config.lexicon_size,)
+
+    def test_matches_bruteforce(self, small_trace, term_counts):
+        seen: dict[int, set[int]] = {}
+        for i in range(small_trace.n_instances):
+            peer = int(small_trace.peer_of_instance[i])
+            for t in small_trace.catalog.song_term_ids(int(small_trace.song_ids[i])):
+                seen.setdefault(int(t), set()).add(peer)
+        for t, peers in list(seen.items())[:300]:
+            assert term_counts[t] == len(peers)
+
+    def test_bounded_by_peers(self, small_trace, term_counts):
+        assert term_counts.max() <= small_trace.n_peers
+
+
+class TestWorkloadStructure:
+    def test_timestamps_sorted_in_range(self, workload):
+        ts = workload.timestamps
+        assert np.all(np.diff(ts) >= 0)
+        assert ts.min() >= 0
+        assert ts.max() < workload.config.duration_s
+
+    def test_csr_consistent(self, workload):
+        assert workload.term_offsets[0] == 0
+        assert workload.term_offsets[-1] == workload.term_ids.size
+        lengths = np.diff(workload.term_offsets)
+        assert lengths.min() >= 1
+
+    def test_base_query_term_count_range(self, workload):
+        lengths = np.diff(workload.term_offsets)[~workload.is_burst]
+        cfg = workload.config
+        assert lengths.min() >= cfg.min_terms
+        assert lengths.max() <= cfg.max_terms
+
+    def test_term_ids_within_vocab(self, workload):
+        assert workload.term_ids.min() >= 0
+        assert workload.term_ids.max() < workload.config.vocab_size
+
+    def test_total_queries(self, workload):
+        burst_total = sum(b.n_queries for b in workload.bursts)
+        assert workload.n_queries == workload.config.n_queries + burst_total
+
+    def test_query_accessors(self, workload):
+        terms = workload.query_terms(0)
+        words = workload.query_words(0)
+        assert len(words) == terms.size
+        assert words[0] == workload.term_string(int(terms[0]))
+
+    def test_vocab_words_match_lexicon(self, workload):
+        lex = workload.catalog.lexicon
+        for rank in (0, 10, 100):
+            assert workload.vocab_words[rank] == lex.word(
+                int(workload.vocab_lexicon_ids[rank])
+            )
+
+    def test_vocab_has_no_duplicates(self, workload):
+        assert np.unique(workload.vocab_lexicon_ids).size == len(workload.vocab_words)
+
+
+class TestBursts:
+    def test_burst_queries_within_window(self, workload):
+        burst_ts = workload.timestamps[workload.is_burst]
+        burst_terms = workload.term_ids[
+            np.repeat(workload.is_burst, np.diff(workload.term_offsets))
+        ]
+        windows = {b.vocab_rank: (b.start_s, b.end_s) for b in workload.bursts}
+        for t, rank in zip(burst_ts[:500], burst_terms[:500]):
+            lo, hi = windows[int(rank)]
+            assert lo <= t <= hi
+
+    def test_burst_volume_matches_ground_truth(self, workload):
+        assert int(workload.is_burst.sum()) == sum(b.n_queries for b in workload.bursts)
+
+    def test_burst_ranks_from_tail(self, workload):
+        v = workload.config.vocab_size
+        for b in workload.bursts:
+            assert b.vocab_rank >= v // 4
+
+    def test_no_bursts_when_rate_zero(self, small_trace, term_counts):
+        wl = QueryWorkload(
+            small_trace.catalog,
+            term_counts,
+            QueryWorkloadConfig(
+                n_queries=1_000, vocab_size=300, popular_file_pool=200,
+                burst_rate_per_day=0.0, seed=1,
+            ),
+        )
+        assert wl.bursts == []
+        assert not wl.is_burst.any()
+
+
+class TestVocabularyMismatch:
+    def test_match_fraction_controls_overlap(self, small_trace, term_counts):
+        """Higher match_fraction => more popular file terms in the vocab head."""
+        order = np.argsort(term_counts)[::-1]
+        popular_file = set(order[:100].tolist())
+        overlaps = {}
+        for mf in (0.05, 0.5):
+            wl = QueryWorkload(
+                small_trace.catalog,
+                term_counts,
+                QueryWorkloadConfig(
+                    n_queries=100, vocab_size=500, popular_file_pool=300,
+                    match_fraction=mf, seed=2,
+                ),
+            )
+            head = set(wl.vocab_lexicon_ids[:100].tolist())
+            overlaps[mf] = len(head & popular_file)
+        assert overlaps[0.5] > overlaps[0.05]
+
+    def test_zero_match_fraction_disjoint_head(self, small_trace, term_counts):
+        order = np.argsort(term_counts)[::-1]
+        wl = QueryWorkload(
+            small_trace.catalog,
+            term_counts,
+            QueryWorkloadConfig(
+                n_queries=100, vocab_size=500, popular_file_pool=300,
+                match_fraction=0.0, seed=2,
+            ),
+        )
+        popular_file = set(order[:300].tolist())
+        assert not (set(wl.vocab_lexicon_ids.tolist()) & popular_file)
+
+
+class TestDiurnal:
+    def test_diurnal_modulates_rate(self, small_trace, term_counts):
+        wl = QueryWorkload(
+            small_trace.catalog,
+            term_counts,
+            QueryWorkloadConfig(
+                n_queries=80_000, vocab_size=300, popular_file_pool=200,
+                diurnal_depth=0.8, burst_rate_per_day=0.0, seed=6,
+            ),
+        )
+        # Compare query volume in the sine peak vs trough quarter-days.
+        day = 86_400.0
+        phase = wl.timestamps % day
+        peak = np.count_nonzero((phase > 0.15 * day) & (phase < 0.35 * day))
+        trough = np.count_nonzero((phase > 0.65 * day) & (phase < 0.85 * day))
+        assert peak > 1.5 * trough
+
+    def test_no_diurnal_uniform(self, small_trace, term_counts):
+        wl = QueryWorkload(
+            small_trace.catalog,
+            term_counts,
+            QueryWorkloadConfig(
+                n_queries=80_000, vocab_size=300, popular_file_pool=200,
+                diurnal_depth=0.0, burst_rate_per_day=0.0, seed=6,
+            ),
+        )
+        day = 86_400.0
+        phase = wl.timestamps % day
+        peak = np.count_nonzero((phase > 0.15 * day) & (phase < 0.35 * day))
+        trough = np.count_nonzero((phase > 0.65 * day) & (phase < 0.85 * day))
+        assert abs(peak - trough) < 0.15 * peak
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs, match",
+        [
+            (dict(duration_s=0), "duration"),
+            (dict(n_queries=-1), "n_queries"),
+            (dict(vocab_size=0), "vocab_size"),
+            (dict(match_fraction=1.5), "match_fraction"),
+            (dict(min_terms=0), "terms-per-query"),
+            (dict(min_terms=3, max_terms=2), "terms-per-query"),
+            (dict(diurnal_depth=1.0), "diurnal"),
+        ],
+    )
+    def test_invalid_configs(self, kwargs, match):
+        with pytest.raises(ValueError, match=match):
+            QueryWorkloadConfig(**kwargs)
+
+    def test_lexicon_too_small_raises(self, small_trace, term_counts):
+        with pytest.raises(ValueError, match="tail"):
+            QueryWorkload(
+                small_trace.catalog,
+                term_counts,
+                QueryWorkloadConfig(
+                    n_queries=10, vocab_size=4_000, popular_file_pool=3_000, seed=0
+                ),
+            )
+
+    def test_wrong_counts_shape_raises(self, small_trace):
+        with pytest.raises(ValueError, match="lexicon"):
+            QueryWorkload(small_trace.catalog, np.zeros(10), QueryWorkloadConfig())
+
+    def test_deterministic(self, small_trace, term_counts):
+        cfg = QueryWorkloadConfig(
+            n_queries=2_000, vocab_size=300, popular_file_pool=200, seed=9
+        )
+        a = QueryWorkload(small_trace.catalog, term_counts, cfg)
+        b = QueryWorkload(small_trace.catalog, term_counts, cfg)
+        np.testing.assert_array_equal(a.timestamps, b.timestamps)
+        np.testing.assert_array_equal(a.term_ids, b.term_ids)
+        assert a.vocab_words == b.vocab_words
+
+
+class TestQueryStrings:
+    def test_roundtrips_through_protocol_tokenizer(self, workload):
+        from repro.analysis.tokenize import tokenize_name
+
+        for i in (0, 100, 5_000):
+            s = workload.query_string(i)
+            assert tokenize_name(s) == workload.query_words(i)
+
+    def test_space_separated(self, workload):
+        i = 0
+        s = workload.query_string(i)
+        assert len(s.split(" ")) == workload.query_terms(i).size

@@ -1,0 +1,103 @@
+"""Tests for repro.utils.bloom — the synopsis substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils.bloom import BloomFilter, optimal_parameters
+
+
+class TestOptimalParameters:
+    def test_reasonable_sizing(self):
+        m, k = optimal_parameters(1000, 0.01)
+        assert 9000 < m < 10500  # ~9.6 bits/item at 1% FP
+        assert 6 <= k <= 8
+
+    def test_capacity_positive(self):
+        with pytest.raises(ValueError, match="capacity"):
+            optimal_parameters(0, 0.01)
+
+    def test_fp_rate_range(self):
+        with pytest.raises(ValueError, match="fp_rate"):
+            optimal_parameters(10, 1.5)
+        with pytest.raises(ValueError, match="fp_rate"):
+            optimal_parameters(10, 0.0)
+
+
+class TestBloomFilter:
+    def test_no_false_negatives_scalar(self):
+        bf = BloomFilter.for_capacity(100)
+        for x in (0, 1, 17, 2**40):
+            bf.add(x)
+            assert x in bf
+
+    def test_contains_array(self):
+        bf = BloomFilter.for_capacity(100)
+        ids = np.arange(0, 50)
+        bf.add(ids)
+        assert bf.contains(ids).all()
+
+    def test_empty_filter_rejects(self):
+        bf = BloomFilter.for_capacity(100)
+        assert not bf.contains(np.arange(100)).any()
+
+    def test_fp_rate_near_target(self, rng):
+        bf = BloomFilter.for_capacity(500, fp_rate=0.02)
+        inserted = np.arange(500)
+        bf.add(inserted)
+        probes = np.arange(10_000, 40_000)
+        fp = float(bf.contains(probes).mean())
+        assert fp < 0.06  # generous: 3x target
+
+    def test_fill_ratio_and_estimate(self):
+        bf = BloomFilter.for_capacity(100, fp_rate=0.01)
+        assert bf.fill_ratio == 0.0
+        bf.add(np.arange(100))
+        assert 0.2 < bf.fill_ratio < 0.8
+        assert 0.0 < bf.approx_fp_rate < 0.1
+
+    def test_clear(self):
+        bf = BloomFilter.for_capacity(10)
+        bf.add(5)
+        bf.clear()
+        assert 5 not in bf
+        assert bf.n_inserted == 0
+
+    def test_union(self):
+        a = BloomFilter(256, 3)
+        b = BloomFilter(256, 3)
+        a.add(1)
+        b.add(2)
+        a.union_update(b)
+        assert 1 in a and 2 in a
+
+    def test_union_mismatched_raises(self):
+        with pytest.raises(ValueError, match="different parameters"):
+            BloomFilter(256, 3).union_update(BloomFilter(128, 3))
+
+    def test_copy_independent(self):
+        a = BloomFilter(128, 2)
+        a.add(1)
+        b = a.copy()
+        b.add(99)
+        assert 1 in b
+        # With tiny filters a false positive is possible but unlikely
+        # for this fixed pair of values and parameters.
+        assert 99 not in a
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError, match="m_bits"):
+            BloomFilter(0, 3)
+        with pytest.raises(ValueError, match="k_hashes"):
+            BloomFilter(16, 0)
+
+    @given(ids=st.lists(st.integers(0, 2**62), min_size=1, max_size=200))
+    @settings(max_examples=40, deadline=None)
+    def test_no_false_negatives_property(self, ids):
+        bf = BloomFilter.for_capacity(max(len(ids), 1), fp_rate=0.01)
+        arr = np.asarray(ids, dtype=np.uint64)
+        bf.add(arr)
+        assert bf.contains(arr).all()

@@ -1,0 +1,142 @@
+"""Tests for repro.utils.stats."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.utils.stats import (
+    bincount_counts,
+    ccdf,
+    fraction_at_least,
+    fraction_at_most,
+    gini,
+    lorenz_curve,
+    ragged_arange,
+)
+
+
+class TestCcdf:
+    def test_simple(self):
+        x, p = ccdf(np.array([1, 1, 2, 3]))
+        np.testing.assert_array_equal(x, [1, 2, 3])
+        np.testing.assert_allclose(p, [1.0, 0.5, 0.25])
+
+    def test_single_value(self):
+        x, p = ccdf(np.array([7, 7, 7]))
+        np.testing.assert_array_equal(x, [7])
+        np.testing.assert_allclose(p, [1.0])
+
+    def test_empty(self):
+        x, p = ccdf(np.array([]))
+        assert x.size == 0 and p.size == 0
+
+    @given(
+        hnp.arrays(np.int64, st.integers(1, 60), elements=st.integers(0, 50))
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_properties(self, values):
+        x, p = ccdf(values)
+        assert np.all(np.diff(x) > 0)  # distinct ascending values
+        assert np.all(np.diff(p) < 1e-12)  # non-increasing probabilities
+        assert p[0] == pytest.approx(1.0)
+        assert p[-1] > 0
+
+
+class TestFractions:
+    def test_at_most(self):
+        assert fraction_at_most(np.array([1, 2, 3, 4]), 2) == 0.5
+
+    def test_at_least(self):
+        assert fraction_at_least(np.array([1, 2, 3, 4]), 3) == 0.5
+
+    def test_complementarity(self):
+        v = np.array([1, 5, 5, 9])
+        assert fraction_at_most(v, 4) + fraction_at_least(v, 5) == pytest.approx(1.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            fraction_at_most(np.array([]), 1)
+        with pytest.raises(ValueError, match="empty"):
+            fraction_at_least(np.array([]), 1)
+
+
+class TestBincount:
+    def test_counts(self):
+        np.testing.assert_array_equal(
+            bincount_counts(np.array([0, 2, 2]), minlength=4), [1, 0, 2, 0]
+        )
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            bincount_counts(np.array([-1, 0]))
+
+
+class TestLorenzGini:
+    def test_equal_distribution_gini_zero(self):
+        assert gini(np.full(100, 5.0)) == pytest.approx(0.0, abs=0.02)
+
+    def test_concentrated_distribution_gini_high(self):
+        v = np.zeros(100)
+        v[0] = 100.0
+        assert gini(v) > 0.9
+
+    def test_lorenz_endpoints(self):
+        x, y = lorenz_curve(np.array([1.0, 2.0, 3.0]))
+        assert x[0] == 0.0 and y[0] == 0.0
+        assert x[-1] == pytest.approx(1.0) and y[-1] == pytest.approx(1.0)
+
+    def test_lorenz_convex(self):
+        _, y = lorenz_curve(np.array([1.0, 2.0, 4.0, 8.0]))
+        assert np.all(np.diff(y, 2) >= -1e-12)
+
+    def test_all_zero_raises(self):
+        with pytest.raises(ValueError, match="all-zero"):
+            lorenz_curve(np.zeros(5))
+
+    @given(
+        hnp.arrays(
+            np.float64,
+            st.integers(2, 50),
+            elements=st.floats(0.0, 100.0, allow_nan=False),
+        ).filter(lambda a: a.sum() > 0)
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_gini_bounds(self, values):
+        g = gini(values)
+        assert -0.01 <= g <= 1.0
+
+
+class TestRaggedArange:
+    def test_basic(self):
+        np.testing.assert_array_equal(
+            ragged_arange(np.array([3, 1, 2])), [0, 1, 2, 0, 0, 1]
+        )
+
+    def test_zeros_skipped(self):
+        np.testing.assert_array_equal(
+            ragged_arange(np.array([0, 2, 0, 1, 0])), [0, 1, 0]
+        )
+
+    def test_empty(self):
+        assert ragged_arange(np.array([], dtype=np.int64)).size == 0
+
+    def test_all_zero(self):
+        assert ragged_arange(np.zeros(5, dtype=np.int64)).size == 0
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            ragged_arange(np.array([1, -1]))
+
+    @given(
+        hnp.arrays(np.int64, st.integers(0, 40), elements=st.integers(0, 20))
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_matches_python_reference(self, lengths):
+        expected = np.concatenate(
+            [np.arange(n) for n in lengths] or [np.empty(0, dtype=np.int64)]
+        )
+        np.testing.assert_array_equal(ragged_arange(lengths), expected)

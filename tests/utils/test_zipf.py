@@ -1,0 +1,147 @@
+"""Tests for repro.utils.zipf — the sampler underlying every trace."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils.rng import make_rng
+from repro.utils.zipf import (
+    ZipfDistribution,
+    fit_exponent_mle,
+    ks_distance,
+    rank_frequency,
+    zipf_weights,
+)
+
+
+class TestZipfWeights:
+    def test_monotone_decreasing(self):
+        w = zipf_weights(100, 1.0)
+        assert np.all(np.diff(w) < 0)
+
+    def test_uniform_at_zero_exponent(self):
+        w = zipf_weights(50, 0.0)
+        np.testing.assert_allclose(w, 1.0)
+
+    def test_exact_values(self):
+        w = zipf_weights(3, 1.0)
+        np.testing.assert_allclose(w, [1.0, 0.5, 1 / 3])
+
+    def test_invalid_size_raises(self):
+        with pytest.raises(ValueError, match="positive"):
+            zipf_weights(0, 1.0)
+
+
+class TestZipfDistribution:
+    def test_pmf_normalized(self):
+        d = ZipfDistribution(1000, 1.2)
+        assert d.pmf.sum() == pytest.approx(1.0)
+
+    def test_pmf_monotone(self):
+        d = ZipfDistribution(100, 0.8)
+        assert np.all(np.diff(d.pmf) <= 1e-15)
+
+    def test_sample_within_support(self, rng):
+        d = ZipfDistribution(50, 1.0)
+        s = d.sample(10_000, rng)
+        assert s.min() >= 0 and s.max() < 50
+
+    def test_sample_zero_size(self, rng):
+        assert ZipfDistribution(10, 1.0).sample(0, rng).size == 0
+
+    def test_sample_negative_raises(self, rng):
+        with pytest.raises(ValueError, match="non-negative"):
+            ZipfDistribution(10, 1.0).sample(-1, rng)
+
+    def test_empirical_matches_pmf(self, rng):
+        d = ZipfDistribution(20, 1.0)
+        s = d.sample(200_000, rng)
+        emp = np.bincount(s, minlength=20) / 200_000
+        np.testing.assert_allclose(emp, d.pmf, atol=0.005)
+
+    def test_uniform_exponent_zero(self, rng):
+        d = ZipfDistribution(10, 0.0)
+        s = d.sample(100_000, rng)
+        emp = np.bincount(s, minlength=10) / 100_000
+        np.testing.assert_allclose(emp, 0.1, atol=0.01)
+
+    def test_expected_count(self):
+        d = ZipfDistribution(4, 1.0)
+        np.testing.assert_allclose(d.expected_count(100).sum(), 100.0)
+
+    def test_negative_exponent_raises(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            ZipfDistribution(10, -0.5)
+
+    def test_empty_support_raises(self):
+        with pytest.raises(ValueError, match="positive"):
+            ZipfDistribution(0, 1.0)
+
+    @given(
+        n=st.integers(min_value=2, max_value=2_000),
+        s=st.floats(min_value=0.0, max_value=3.0, allow_nan=False),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_pmf_properties_hold(self, n, s):
+        d = ZipfDistribution(n, s)
+        pmf = d.pmf
+        assert pmf.shape == (n,)
+        assert np.all(pmf >= 0)
+        assert pmf.sum() == pytest.approx(1.0)
+        # Rank 0 is always (weakly) the most likely, up to float noise.
+        assert pmf[0] >= pmf[-1] - 1e-12
+
+    @given(seed=st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=15, deadline=None)
+    def test_sampling_deterministic_per_seed(self, seed):
+        d = ZipfDistribution(64, 1.1)
+        a = d.sample(100, make_rng(seed))
+        b = d.sample(100, make_rng(seed))
+        np.testing.assert_array_equal(a, b)
+
+
+class TestRankFrequency:
+    def test_sorted_descending(self):
+        ranks, freq = rank_frequency(np.array([3, 1, 7, 0, 2]))
+        np.testing.assert_array_equal(freq, [7, 3, 2, 1])
+        np.testing.assert_array_equal(ranks, [1, 2, 3, 4])
+
+    def test_drops_zeros(self):
+        _, freq = rank_frequency(np.array([0, 0, 5]))
+        np.testing.assert_array_equal(freq, [5])
+
+    def test_empty(self):
+        ranks, freq = rank_frequency(np.array([]))
+        assert ranks.size == 0 and freq.size == 0
+
+
+class TestFit:
+    @pytest.mark.parametrize("true_s", [0.6, 1.0, 1.4])
+    def test_mle_recovers_exponent(self, true_s, rng):
+        d = ZipfDistribution(500, true_s)
+        counts = np.bincount(d.sample(300_000, rng), minlength=500)
+        est = fit_exponent_mle(counts)
+        assert est == pytest.approx(true_s, abs=0.1)
+
+    def test_ks_small_for_true_sample(self, rng):
+        d = ZipfDistribution(300, 1.0)
+        counts = np.bincount(d.sample(100_000, rng), minlength=300)
+        assert ks_distance(counts, 1.0) < 0.05
+
+    def test_ks_large_for_wrong_exponent(self, rng):
+        d = ZipfDistribution(300, 1.6)
+        counts = np.bincount(d.sample(100_000, rng), minlength=300)
+        assert ks_distance(counts, 0.2) > 0.2
+
+    def test_fit_requires_two_items(self):
+        with pytest.raises(ValueError, match="two items"):
+            fit_exponent_mle(np.array([5.0]))
+
+    def test_fit_ignores_zero_counts(self, rng):
+        d = ZipfDistribution(100, 1.0)
+        counts = np.bincount(d.sample(50_000, rng), minlength=100)
+        padded = np.concatenate([counts, np.zeros(50, dtype=counts.dtype)])
+        assert fit_exponent_mle(padded) == pytest.approx(fit_exponent_mle(counts))
