@@ -1,0 +1,48 @@
+"""simlint — AST-based static analysis for simulation invariants.
+
+The paper's figures are statistical claims over seeded stochastic
+simulations, so the repo's credibility rests on seed-determinism
+(:mod:`repro.utils.rng`).  simlint *enforces* that discipline — plus a
+handful of correctness invariants — on every commit:
+
+========  ===========================================================
+SIM001    randomness flows through ``make_rng``/``spawn``/``derive``
+SIM002    no wall-clock reads inside simulation code
+SIM003    no mutable default arguments
+SIM004    no bare/overbroad ``except`` clauses
+SIM005    ``__all__`` declared and accurate in public modules
+SIM006    no ``==``/``!=`` against float literals
+SIM007    public randomness consumers take an annotated seed/rng param
+========  ===========================================================
+
+Run ``python -m repro.lint src`` (or the ``repro-lint`` script), tune
+via ``[tool.simlint]`` in pyproject.toml, and suppress a single line
+with ``# simlint: ignore[SIMxxx]``.  New rules are one registered class
+— see docs/static-analysis.md.
+"""
+
+from repro.lint.config import LintConfig, find_pyproject, load_config
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.engine import discover_files, lint_file, lint_paths
+from repro.lint.rules import (
+    FileContext,
+    Rule,
+    register_rule,
+    registered_rules,
+    rule_codes,
+)
+
+__all__ = [
+    "Diagnostic",
+    "FileContext",
+    "LintConfig",
+    "Rule",
+    "discover_files",
+    "find_pyproject",
+    "lint_file",
+    "lint_paths",
+    "load_config",
+    "register_rule",
+    "registered_rules",
+    "rule_codes",
+]

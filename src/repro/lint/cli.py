@@ -1,0 +1,141 @@
+"""simlint command line: ``python -m repro.lint [paths] [options]``.
+
+Exit codes follow compiler convention: 0 clean, 1 findings, 2 usage or
+configuration error.  ``--format json`` emits a stable machine-readable
+schema (documented in docs/static-analysis.md) for CI annotation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.lint.config import LintConfig, find_pyproject, load_config
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.engine import lint_paths
+from repro.lint.rules import registered_rules
+
+__all__ = ["main", "build_parser", "render_json"]
+
+JSON_SCHEMA_VERSION = 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the simlint argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "simlint: AST-based simulation-invariant linter for the repro "
+            "codebase (RNG discipline, wall-clock bans, export hygiene)."
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format", choices=("human", "json"), default="human",
+        help="output format (default: human)",
+    )
+    parser.add_argument(
+        "--select", default=None, metavar="CODES",
+        help="comma-separated rule codes to run exclusively (e.g. SIM001,SIM006)",
+    )
+    parser.add_argument(
+        "--ignore", default=None, metavar="CODES",
+        help="comma-separated rule codes to skip",
+    )
+    parser.add_argument(
+        "--config", default=None, metavar="PYPROJECT",
+        help="explicit pyproject.toml (default: nearest ancestor of cwd)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print registered rules and exit",
+    )
+    return parser
+
+
+def _parse_codes(raw: str | None) -> frozenset[str] | None:
+    if raw is None:
+        return None
+    return frozenset(code.strip() for code in raw.split(",") if code.strip())
+
+
+def render_json(
+    findings: Sequence[Diagnostic], files_checked: int
+) -> dict[str, object]:
+    """The ``--format json`` payload (schema version pinned for CI)."""
+    counts: dict[str, int] = {}
+    for diag in findings:
+        counts[diag.code] = counts.get(diag.code, 0) + 1
+    return {
+        "version": JSON_SCHEMA_VERSION,
+        "files_checked": files_checked,
+        "diagnostics": [diag.to_dict() for diag in findings],
+        "counts": dict(sorted(counts.items())),
+    }
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point for ``python -m repro.lint`` and the console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    rules = registered_rules()
+    if args.list_rules:
+        for code, rule in rules.items():
+            print(f"{code}  {rule.summary}")
+        return 0
+
+    select = _parse_codes(args.select)
+    ignore = _parse_codes(args.ignore)
+    for label, raw, codes in (
+        ("--select", args.select, select),
+        ("--ignore", args.ignore, ignore),
+    ):
+        if raw is not None and not codes:
+            print(f"error: {label} requires at least one rule code", file=sys.stderr)
+            return 2
+        unknown = sorted(codes - rules.keys()) if codes else []
+        if unknown:
+            print(
+                f"error: {label} names unknown rule(s): {', '.join(unknown)}",
+                file=sys.stderr,
+            )
+            return 2
+
+    if args.config is not None:
+        pyproject = Path(args.config)
+        if not pyproject.is_file():
+            print(f"error: no such config file: {pyproject}", file=sys.stderr)
+            return 2
+    else:
+        pyproject = find_pyproject(Path.cwd())
+    try:
+        config: LintConfig = load_config(pyproject, select=select, ignore=ignore)
+    except TypeError as err:
+        print(f"error: bad [tool.simlint] configuration: {err}", file=sys.stderr)
+        return 2
+
+    missing = [p for p in args.paths if not Path(p).exists()]
+    if missing:
+        print(f"error: no such path(s): {', '.join(missing)}", file=sys.stderr)
+        return 2
+
+    findings, files_checked = lint_paths(args.paths, config)
+
+    if args.format == "json":
+        print(json.dumps(render_json(findings, files_checked), indent=2))
+    else:
+        for diag in findings:
+            print(diag.format_human())
+        noun = "file" if files_checked == 1 else "files"
+        if findings:
+            print(f"simlint: {len(findings)} finding(s) in {files_checked} {noun}")
+        else:
+            print(f"simlint: {files_checked} {noun} clean")
+    return 1 if findings else 0

@@ -1,0 +1,122 @@
+"""simlint configuration: defaults plus a ``[tool.simlint]`` pyproject table.
+
+The loader is dependency-light: it uses :mod:`tomllib` (stdlib on
+3.11+) or :mod:`tomli` when available, and silently falls back to the
+built-in defaults otherwise — the linter must run in minimal
+environments, and the defaults encode this repository's conventions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+try:  # Python >= 3.11
+    import tomllib as _toml
+except ImportError:  # pragma: no cover - exercised only on 3.10
+    try:
+        import tomli as _toml  # type: ignore[import-not-found, no-redef]
+    except ImportError:
+        _toml = None  # type: ignore[assignment]
+
+__all__ = ["LintConfig", "load_config", "find_pyproject"]
+
+# Modules allowed to touch numpy's RNG constructors directly (SIM001).
+# Matched as a path *suffix* so absolute and relative invocations agree.
+DEFAULT_RNG_MODULES = ("repro/utils/rng.py",)
+
+# Paths where wall-clock reads are legitimate (SIM002): benchmarks time
+# themselves, and the lint package itself never runs inside a simulation.
+DEFAULT_WALLCLOCK_EXEMPT = ("benchmarks/*", "*/benchmarks/*")
+
+DEFAULT_EXCLUDE = ("*/.git/*", "*/__pycache__/*", "*/build/*", "*/dist/*")
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Resolved simlint configuration.
+
+    ``select``/``ignore`` are rule-code sets; an empty ``select`` means
+    "all registered rules".  CLI flags override the pyproject table.
+    """
+
+    select: frozenset[str] = frozenset()
+    ignore: frozenset[str] = frozenset()
+    exclude: tuple[str, ...] = DEFAULT_EXCLUDE
+    rng_modules: tuple[str, ...] = DEFAULT_RNG_MODULES
+    wallclock_exempt: tuple[str, ...] = DEFAULT_WALLCLOCK_EXEMPT
+
+    def is_rule_enabled(self, code: str) -> bool:
+        """Apply select/ignore filtering to a rule code."""
+        if self.select and code not in self.select:
+            return False
+        return code not in self.ignore
+
+
+def find_pyproject(start: Path) -> Path | None:
+    """Walk up from ``start`` to the nearest ``pyproject.toml``."""
+    current = start.resolve()
+    if current.is_file():
+        current = current.parent
+    for candidate in [current, *current.parents]:
+        pyproject = candidate / "pyproject.toml"
+        if pyproject.is_file():
+            return pyproject
+    return None
+
+
+def _as_str_tuple(value: Any, key: str) -> tuple[str, ...]:
+    if not isinstance(value, (list, tuple)) or not all(
+        isinstance(item, str) for item in value
+    ):
+        raise TypeError(f"[tool.simlint] {key!r} must be a list of strings")
+    return tuple(value)
+
+
+def load_config(
+    pyproject: Path | None,
+    *,
+    select: frozenset[str] | None = None,
+    ignore: frozenset[str] | None = None,
+) -> LintConfig:
+    """Build a :class:`LintConfig` from a pyproject file plus overrides.
+
+    ``select``/``ignore`` (from the CLI) replace — not merge with — the
+    corresponding pyproject keys, mirroring how ruff/flake8 behave.
+    """
+    table: dict[str, Any] = {}
+    if pyproject is not None and _toml is not None:
+        try:
+            with pyproject.open("rb") as handle:
+                data = _toml.load(handle)
+        except (OSError, ValueError):
+            data = {}
+        tool = data.get("tool")
+        if isinstance(tool, dict):
+            raw = tool.get("simlint")
+            if isinstance(raw, dict):
+                # Accept both hyphenated (TOML idiom) and underscored keys.
+                table = {key.replace("-", "_"): value for key, value in raw.items()}
+
+    defaults = LintConfig()
+    return LintConfig(
+        select=(
+            select
+            if select is not None
+            else frozenset(_as_str_tuple(table.get("select", []), "select"))
+        ),
+        ignore=(
+            ignore
+            if ignore is not None
+            else frozenset(_as_str_tuple(table.get("ignore", []), "ignore"))
+        ),
+        exclude=_as_str_tuple(table.get("exclude", defaults.exclude), "exclude"),
+        rng_modules=_as_str_tuple(
+            table.get("rng_modules", defaults.rng_modules), "rng_modules"
+        ),
+        wallclock_exempt=_as_str_tuple(
+            table.get("wallclock_exempt", defaults.wallclock_exempt),
+            "wallclock_exempt",
+        ),
+    )

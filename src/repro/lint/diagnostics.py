@@ -1,0 +1,43 @@
+"""Diagnostic records emitted by simlint rules.
+
+A :class:`Diagnostic` is one finding at one source location.  It is
+deliberately plain data — rules construct them, the engine filters them
+(pragmas, ``--select``/``--ignore``) and the CLI renders them — so the
+three layers stay decoupled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Diagnostic"]
+
+
+@dataclass(frozen=True, order=True)
+class Diagnostic:
+    """One lint finding.
+
+    ``line`` is 1-based (as in compiler output); ``col`` is 0-based (as
+    in :mod:`ast`).  Field order makes the natural sort order
+    path -> line -> col -> code, which is the order findings are shown.
+    """
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def format_human(self) -> str:
+        """Render as a familiar ``path:line:col: CODE message`` line."""
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-serializable form (stable schema, see docs/static-analysis.md)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "message": self.message,
+        }

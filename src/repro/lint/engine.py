@@ -1,0 +1,141 @@
+"""The simlint engine: discover files, parse, run rules, filter.
+
+Suppression happens here, not in rules: a rule always reports what it
+sees, and the engine drops diagnostics whose line carries a
+``# simlint: ignore[SIMxxx]`` pragma or whose code is deselected.  That
+keeps every rule oblivious to configuration mechanics.
+"""
+
+from __future__ import annotations
+
+import ast
+import fnmatch
+import re
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+from repro.lint import builtin as _builtin  # noqa: F401  (registers SIM001-SIM007)
+from repro.lint.config import LintConfig
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.rules import FileContext, Rule, registered_rules
+
+__all__ = [
+    "lint_file",
+    "lint_paths",
+    "discover_files",
+    "parse_pragmas",
+    "iter_findings",
+]
+
+# ``# simlint: ignore[SIM001, SIM006]`` — codes are explicit; there is
+# deliberately no blanket "ignore everything" form.
+_PRAGMA_RE = re.compile(r"#\s*simlint:\s*ignore\[([A-Za-z0-9_,\s]+)\]")
+
+
+def parse_pragmas(source: str) -> dict[int, frozenset[str]]:
+    """Map 1-based line numbers to the rule codes suppressed there."""
+    pragmas: dict[int, frozenset[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _PRAGMA_RE.search(line)
+        if match:
+            codes = frozenset(
+                code.strip() for code in match.group(1).split(",") if code.strip()
+            )
+            if codes:
+                pragmas[lineno] = codes
+    return pragmas
+
+
+def discover_files(
+    paths: Sequence[str | Path], config: LintConfig
+) -> list[Path]:
+    """Expand files/directories into the sorted list of ``.py`` targets."""
+    out: list[Path] = []
+    seen: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        candidates: Iterable[Path]
+        if path.is_dir():
+            candidates = sorted(path.rglob("*.py"))
+        else:
+            candidates = [path]
+        for candidate in candidates:
+            resolved = candidate.resolve()
+            if resolved in seen:
+                continue
+            seen.add(resolved)
+            posix = candidate.as_posix()
+            if any(fnmatch.fnmatch(posix, pattern) for pattern in config.exclude):
+                continue
+            out.append(candidate)
+    return out
+
+
+def lint_file(
+    path: str | Path,
+    config: LintConfig,
+    *,
+    rules: dict[str, Rule] | None = None,
+) -> list[Diagnostic]:
+    """Lint one file; a syntax error surfaces as a SIM000 diagnostic."""
+    path = Path(path)
+    if rules is None:
+        rules = registered_rules()
+    try:
+        source = path.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as err:
+        return [
+            Diagnostic(
+                path=str(path), line=1, col=0, code="SIM000",
+                message=f"cannot read file: {err}",
+            )
+        ]
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as err:
+        return [
+            Diagnostic(
+                path=str(path), line=err.lineno or 1,
+                col=(err.offset or 1) - 1, code="SIM000",
+                message=f"syntax error: {err.msg}",
+            )
+        ]
+    ctx = FileContext(
+        path=str(path),
+        tree=tree,
+        source=source,
+        config=config,
+        lines=tuple(source.splitlines()),
+    )
+    pragmas = parse_pragmas(source)
+    findings: list[Diagnostic] = []
+    for code, rule in rules.items():
+        if not config.is_rule_enabled(code):
+            continue
+        for diag in rule.check(ctx):
+            if diag.code in pragmas.get(diag.line, frozenset()):
+                continue
+            findings.append(diag)
+    return sorted(findings)
+
+
+def lint_paths(
+    paths: Sequence[str | Path],
+    config: LintConfig,
+    *,
+    rules: dict[str, Rule] | None = None,
+) -> tuple[list[Diagnostic], int]:
+    """Lint many paths; returns ``(diagnostics, files_checked)``."""
+    files = discover_files(paths, config)
+    findings: list[Diagnostic] = []
+    for path in files:
+        findings.extend(lint_file(path, config, rules=rules))
+    return sorted(findings), len(files)
+
+
+def iter_findings(
+    paths: Sequence[str | Path], config: LintConfig
+) -> Iterator[Diagnostic]:
+    """Convenience generator over :func:`lint_paths` findings."""
+    findings, _ = lint_paths(paths, config)
+    yield from findings

@@ -1,0 +1,107 @@
+"""Rule protocol, per-file context, and the rule registry.
+
+A rule is a small object with a ``code``, a one-line ``summary``, and a
+``check`` method mapping a parsed file to diagnostics.  Rules register
+themselves via :func:`register_rule`, so adding a rule in a later PR is
+one decorated class in one file — the engine, CLI, select/ignore
+filtering, and pragma handling all pick it up automatically.
+"""
+
+from __future__ import annotations
+
+import ast
+import fnmatch
+import re
+from dataclasses import dataclass, field
+from pathlib import PurePosixPath
+from typing import Iterable, Iterator, Protocol, TypeVar, runtime_checkable
+
+from repro.lint.config import LintConfig
+from repro.lint.diagnostics import Diagnostic
+
+__all__ = [
+    "FileContext",
+    "Rule",
+    "register_rule",
+    "registered_rules",
+    "rule_codes",
+]
+
+_CODE_RE = re.compile(r"^SIM\d{3}$")
+
+
+@dataclass(frozen=True)
+class FileContext:
+    """Everything a rule may inspect about one source file.
+
+    ``posix_path`` is the lint-relative path with ``/`` separators, the
+    form all glob/suffix matching uses so results are OS-independent.
+    """
+
+    path: str
+    tree: ast.Module
+    source: str
+    config: LintConfig
+    lines: tuple[str, ...] = field(default=())
+
+    @property
+    def posix_path(self) -> str:
+        return str(PurePosixPath(*self.path.replace("\\", "/").split("/")))
+
+    def matches_any(self, patterns: Iterable[str]) -> bool:
+        """True if the file path matches any glob in ``patterns``."""
+        path = self.posix_path
+        return any(fnmatch.fnmatch(path, pattern) for pattern in patterns)
+
+    def has_path_suffix(self, suffixes: Iterable[str]) -> bool:
+        """True if the file path ends with any of ``suffixes`` (path-wise)."""
+        parts = PurePosixPath(self.posix_path).parts
+        for suffix in suffixes:
+            want = PurePosixPath(suffix).parts
+            if len(want) <= len(parts) and parts[len(parts) - len(want) :] == want:
+                return True
+        return False
+
+
+@runtime_checkable
+class Rule(Protocol):
+    """The contract every simlint rule satisfies."""
+
+    code: str
+    summary: str
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        """Yield diagnostics for ``ctx``; must not mutate it."""
+        ...  # pragma: no cover - protocol body
+
+
+_REGISTRY: dict[str, Rule] = {}
+
+R = TypeVar("R")
+
+
+def register_rule(cls: type[R]) -> type[R]:
+    """Class decorator: instantiate and register a rule by its code.
+
+    Raises on duplicate or malformed codes so a bad plug-in rule fails
+    loudly at import time rather than being silently skipped.
+    """
+    instance = cls()
+    if not isinstance(instance, Rule):
+        raise TypeError(f"{cls.__name__} does not satisfy the Rule protocol")
+    if not _CODE_RE.match(instance.code):
+        raise ValueError(f"{cls.__name__}.code must look like 'SIM001', got {instance.code!r}")
+    if instance.code in _REGISTRY:
+        raise ValueError(f"duplicate rule code {instance.code}")
+    _REGISTRY[instance.code] = instance
+    return cls
+
+
+def registered_rules() -> dict[str, Rule]:
+    """A copy of the registry, keyed and ordered by rule code."""
+    return dict(sorted(_REGISTRY.items()))
+
+
+def rule_codes() -> tuple[str, ...]:
+    """All registered rule codes, sorted."""
+    return tuple(sorted(_REGISTRY))

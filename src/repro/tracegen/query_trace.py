@@ -226,7 +226,7 @@ class QueryWorkload:
     def _sample_timestamps(self, n: int, rng: np.random.Generator) -> np.ndarray:
         """Arrival times with optional diurnal rate modulation."""
         cfg = self.config
-        if cfg.diurnal_depth == 0.0 or n == 0:
+        if n == 0 or not cfg.diurnal_depth:
             return rng.random(n) * cfg.duration_s
         # Inverse-CDF over minute bins of rate 1 + depth*sin(2*pi*t/day).
         minutes = np.arange(0, cfg.duration_s, 60.0)

@@ -1,0 +1,11 @@
+"""Fixture: per-line pragma suppression scoping."""
+
+__all__ = ["classify"]
+
+
+def classify(p, q):
+    if p == 0.3:  # simlint: ignore[SIM006] exact sentinel for tests
+        return "suppressed"
+    if q == 0.5:
+        return "reported"
+    return "body"

@@ -1,0 +1,18 @@
+"""Fixture: every style of RNG-discipline escape (SIM001)."""
+
+import random
+from random import choice
+from numpy.random import default_rng
+
+import numpy as np
+
+__all__ = ["draw"]
+
+
+def draw():
+    random.random()
+    choice([1, 2, 3])
+    np.random.seed(42)
+    np.random.default_rng()
+    np.random.choice([1, 2, 3])
+    default_rng()

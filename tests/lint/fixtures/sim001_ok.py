@@ -1,0 +1,19 @@
+"""Fixture: disciplined randomness — annotations and make_rng only."""
+
+import numpy as np
+
+from repro.utils.rng import derive, make_rng
+
+__all__ = ["draw", "draw_stream"]
+
+
+def draw(seed: int) -> np.ndarray:
+    rng = make_rng(seed)
+    return rng.random(3)
+
+
+def draw_stream(seed: int, rng: np.random.Generator | None = None) -> float:
+    # np.random.Generator in the annotation is an attribute read, not a
+    # call, and must not be flagged.
+    active = rng if rng is not None else derive(seed, "stream")
+    return float(active.random())

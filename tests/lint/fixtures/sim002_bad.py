@@ -1,0 +1,15 @@
+"""Fixture: wall-clock reads inside simulation code (SIM002)."""
+
+import time
+from datetime import datetime
+from time import perf_counter
+
+__all__ = ["stamp"]
+
+
+def stamp():
+    a = time.time()
+    b = time.monotonic_ns()
+    c = perf_counter()
+    d = datetime.now()
+    return a, b, c, d

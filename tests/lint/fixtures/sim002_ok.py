@@ -1,0 +1,17 @@
+"""Fixture: no wall-clock reads; look-alikes must not be flagged."""
+
+__all__ = ["advance"]
+
+
+class Clock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def time(self) -> float:
+        return self.now
+
+
+def advance(clock: Clock, dt: float) -> float:
+    # A method named .time() on a simulation clock is not the stdlib.
+    clock.now += dt
+    return clock.time()

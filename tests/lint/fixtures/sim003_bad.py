@@ -1,0 +1,10 @@
+"""Fixture: mutable default arguments (SIM003)."""
+
+from collections import defaultdict
+
+__all__ = ["accumulate"]
+
+
+def accumulate(item, into=[], counts={}, tags=set(), *, index=defaultdict(list)):
+    into.append(item)
+    return into, counts, tags, index

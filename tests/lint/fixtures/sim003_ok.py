@@ -1,0 +1,10 @@
+"""Fixture: immutable defaults are fine."""
+
+__all__ = ["accumulate"]
+
+
+def accumulate(item, into=None, limit=10, label="x", ttls=(1, 2, 3)):
+    if into is None:
+        into = []
+    into.append(item)
+    return into

@@ -1,0 +1,18 @@
+"""Fixture: bare and overbroad exception handlers (SIM004)."""
+
+__all__ = ["swallow"]
+
+
+def swallow(fn):
+    try:
+        fn()
+    except:
+        pass
+    try:
+        fn()
+    except BaseException:
+        pass
+    try:
+        fn()
+    except Exception:
+        return None

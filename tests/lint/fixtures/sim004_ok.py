@@ -1,0 +1,12 @@
+"""Fixture: specific handlers, and Exception with a re-raise, are fine."""
+
+__all__ = ["guard"]
+
+
+def guard(fn):
+    try:
+        return fn()
+    except ValueError:
+        return None
+    except Exception as err:
+        raise RuntimeError("simulation step failed") from err

@@ -1,0 +1,4 @@
+"""Fixture: non-literal __all__ cannot be validated (SIM005)."""
+
+_names = ["a", "b"]
+__all__ = sorted(_names)

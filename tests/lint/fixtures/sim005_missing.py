@@ -1,0 +1,5 @@
+"""Fixture: public module without __all__ (SIM005)."""
+
+
+def visible():
+    return 1

@@ -1,0 +1,16 @@
+"""Fixture: accurate __all__, including imported and conditional names."""
+
+import math
+from os.path import join as path_join
+
+__all__ = ["real", "CONST", "math", "path_join", "maybe"]
+
+CONST = 1
+
+if CONST:
+    def maybe():
+        return 2
+
+
+def real():
+    return math.pi if path_join else 0

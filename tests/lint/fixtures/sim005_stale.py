@@ -1,0 +1,7 @@
+"""Fixture: __all__ lists a name the module never defines (SIM005)."""
+
+__all__ = ["real", "ghost"]
+
+
+def real():
+    return 1

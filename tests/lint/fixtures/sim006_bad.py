@@ -1,0 +1,13 @@
+"""Fixture: float-literal equality comparisons (SIM006)."""
+
+__all__ = ["classify"]
+
+
+def classify(p, q, ttl):
+    if p == 0.3:
+        return "head"
+    if 0.5 != q:
+        return "tail"
+    if ttl == -1.0:
+        return "sentinel"
+    return "body"

@@ -1,0 +1,15 @@
+"""Fixture: integer equality and isclose-style float checks are fine."""
+
+import math
+
+__all__ = ["classify"]
+
+
+def classify(p, ttl):
+    if ttl == 0 or ttl != -1:
+        return "int comparisons are exact"
+    if math.isclose(p, 0.3):
+        return "head"
+    if p <= 0.5:
+        return "tail"
+    return "body"

@@ -1,0 +1,17 @@
+"""Fixture: hidden or untyped randomness in public functions (SIM007)."""
+
+from repro.utils.rng import make_rng
+
+__all__ = ["sample_sizes", "jitter"]
+
+
+def sample_sizes(n):
+    # Hardcoded seed: deterministic but invisible to the caller.
+    rng = make_rng(0)
+    return rng.integers(1, 10, size=n)
+
+
+def jitter(values, seed):
+    # Has a seed parameter but no annotation.
+    rng = make_rng(seed)
+    return [v + rng.random() for v in values]

@@ -1,0 +1,39 @@
+"""Fixture: the blessed randomness idioms (SIM007-clean)."""
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.rng import derive, make_rng
+
+__all__ = ["SizeConfig", "Sampler", "sample_sizes", "sample_with_config"]
+
+
+@dataclass
+class SizeConfig:
+    seed: int = 0
+
+
+def sample_sizes(n: int, seed: int = 0) -> np.ndarray:
+    rng = make_rng(seed)
+    return rng.integers(1, 10, size=n)
+
+
+def sample_with_config(n: int, config: SizeConfig | None = None) -> np.ndarray:
+    # The cfg-local idiom: the seed still arrives through a parameter.
+    cfg = config or SizeConfig()
+    rng = derive(cfg.seed, "sizes")
+    return rng.integers(1, 10, size=n)
+
+
+class Sampler:
+    def __init__(self, seed: int = 0) -> None:
+        self._seed = seed
+        self.rng = make_rng(seed)
+
+    def draw(self, n: int) -> np.ndarray:
+        # Construction-injected randomness is caller-visible on __init__.
+        return self.rng.integers(1, 10, size=n)
+
+    def rederive(self, n: int) -> np.ndarray:
+        return derive(self._seed, "rederive", n).integers(1, 10, size=n)

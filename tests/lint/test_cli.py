@@ -1,0 +1,96 @@
+"""CLI behavior: flags, output formats, exit codes, JSON schema."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.lint.cli import JSON_SCHEMA_VERSION, main
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def run(*argv: str, capsys: pytest.CaptureFixture[str]) -> tuple[int, str, str]:
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+def test_clean_path_exits_zero(capsys: pytest.CaptureFixture[str]) -> None:
+    code, out, _ = run(str(FIXTURES / "sim001_ok.py"), capsys=capsys)
+    assert code == 0
+    assert "clean" in out
+
+
+def test_findings_exit_one_human(capsys: pytest.CaptureFixture[str]) -> None:
+    code, out, _ = run(
+        str(FIXTURES / "sim001_bad.py"), "--select", "SIM001", capsys=capsys
+    )
+    assert code == 1
+    assert "SIM001" in out
+    # human lines are path:line:col: CODE message
+    first = out.splitlines()[0]
+    assert first.count(":") >= 3
+
+
+def test_select_filters(capsys: pytest.CaptureFixture[str]) -> None:
+    code, out, _ = run(
+        str(FIXTURES / "sim006_bad.py"), "--select", "SIM001", capsys=capsys
+    )
+    assert code == 0  # the file's violations are SIM006, which we deselected
+
+
+def test_ignore_filters(capsys: pytest.CaptureFixture[str]) -> None:
+    code, out, _ = run(
+        str(FIXTURES / "sim006_bad.py"), "--ignore", "SIM006", capsys=capsys
+    )
+    assert "SIM006" not in out
+    assert code == 0
+
+
+def test_unknown_code_is_usage_error(capsys: pytest.CaptureFixture[str]) -> None:
+    code, _, err = run("--select", "SIM999", str(FIXTURES), capsys=capsys)
+    assert code == 2
+    assert "SIM999" in err
+
+
+def test_missing_path_is_usage_error(capsys: pytest.CaptureFixture[str]) -> None:
+    code, _, err = run("no/such/dir", capsys=capsys)
+    assert code == 2
+    assert "no such path" in err
+
+
+def test_list_rules(capsys: pytest.CaptureFixture[str]) -> None:
+    code, out, _ = run("--list-rules", capsys=capsys)
+    assert code == 0
+    for expected in ("SIM001", "SIM007"):
+        assert expected in out
+
+
+def test_json_schema(capsys: pytest.CaptureFixture[str]) -> None:
+    code, out, _ = run(
+        str(FIXTURES / "sim006_bad.py"),
+        "--select", "SIM006", "--format", "json",
+        capsys=capsys,
+    )
+    assert code == 1
+    payload = json.loads(out)
+    assert payload["version"] == JSON_SCHEMA_VERSION
+    assert payload["files_checked"] == 1
+    assert payload["counts"] == {"SIM006": len(payload["diagnostics"])}
+    for diag in payload["diagnostics"]:
+        assert set(diag) == {"path", "line", "col", "code", "message"}
+        assert diag["code"] == "SIM006"
+        assert isinstance(diag["line"], int) and diag["line"] >= 1
+        assert isinstance(diag["col"], int) and diag["col"] >= 0
+
+
+def test_json_clean_payload(capsys: pytest.CaptureFixture[str]) -> None:
+    code, out, _ = run(
+        str(FIXTURES / "sim001_ok.py"), "--format", "json", capsys=capsys
+    )
+    assert code == 0
+    payload = json.loads(out)
+    assert payload["diagnostics"] == [] and payload["counts"] == {}

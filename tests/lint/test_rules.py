@@ -1,0 +1,98 @@
+"""Per-rule positive/negative coverage over the fixture snippets.
+
+Each SIM rule must fire on its ``*_bad`` fixture and stay silent on its
+``*_ok`` fixture.  Fixtures are linted with a default config and the
+findings filtered by code, so unrelated rules (e.g. SIM005 on a fixture
+without ``__all__``) cannot mask the case under test.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint import Diagnostic, LintConfig, lint_file, registered_rules
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def findings(name: str, code: str) -> list[Diagnostic]:
+    diags = lint_file(FIXTURES / name, LintConfig())
+    return [d for d in diags if d.code == code]
+
+
+def test_registry_has_all_builtin_rules() -> None:
+    codes = set(registered_rules())
+    assert {f"SIM00{i}" for i in range(1, 8)} <= codes
+
+
+@pytest.mark.parametrize(
+    ("code", "bad", "n_min"),
+    [
+        ("SIM001", "sim001_bad.py", 6),
+        ("SIM002", "sim002_bad.py", 4),
+        ("SIM003", "sim003_bad.py", 4),
+        ("SIM004", "sim004_bad.py", 3),
+        ("SIM006", "sim006_bad.py", 3),
+        ("SIM007", "sim007_bad.py", 2),
+    ],
+)
+def test_bad_fixture_triggers_rule(code: str, bad: str, n_min: int) -> None:
+    diags = findings(bad, code)
+    assert len(diags) >= n_min, f"{code} found only {diags}"
+    assert all(d.path.endswith(bad) and d.line >= 1 for d in diags)
+
+
+@pytest.mark.parametrize(
+    ("code", "ok"),
+    [
+        ("SIM001", "sim001_ok.py"),
+        ("SIM002", "sim002_ok.py"),
+        ("SIM003", "sim003_ok.py"),
+        ("SIM004", "sim004_ok.py"),
+        ("SIM005", "sim005_ok.py"),
+        ("SIM006", "sim006_ok.py"),
+        ("SIM007", "sim007_ok.py"),
+    ],
+)
+def test_ok_fixture_is_clean(code: str, ok: str) -> None:
+    assert findings(ok, code) == []
+
+
+def test_sim005_missing_all() -> None:
+    diags = findings("sim005_missing.py", "SIM005")
+    assert len(diags) == 1
+    assert "does not declare __all__" in diags[0].message
+
+
+def test_sim005_stale_name() -> None:
+    diags = findings("sim005_stale.py", "SIM005")
+    assert len(diags) == 1
+    assert "'ghost'" in diags[0].message
+
+
+def test_sim005_dynamic_all() -> None:
+    diags = findings("sim005_dynamic.py", "SIM005")
+    assert len(diags) == 1
+    assert "literal list" in diags[0].message
+
+
+def test_sim007_distinguishes_missing_from_untyped() -> None:
+    diags = findings("sim007_bad.py", "SIM007")
+    messages = " | ".join(d.message for d in diags)
+    assert "sample_sizes" in messages and "no seed/rng parameter" in messages
+    assert "jitter" in messages and "type annotation" in messages
+
+
+def test_sim001_exempts_the_rng_module() -> None:
+    # The blessed module itself calls np.random.default_rng freely.
+    rng_py = Path(__file__).parents[2] / "src" / "repro" / "utils" / "rng.py"
+    diags = [d for d in lint_file(rng_py, LintConfig()) if d.code == "SIM001"]
+    assert diags == []
+
+
+def test_sim002_exempts_benchmark_globs() -> None:
+    config = LintConfig(wallclock_exempt=("*/fixtures/*",))
+    diags = lint_file(FIXTURES / "sim002_bad.py", config)
+    assert [d for d in diags if d.code == "SIM002"] == []

@@ -1,0 +1,52 @@
+"""Tier-1 guardrail: the src/ tree is simlint-clean, always.
+
+This is the enforcement point for the determinism discipline the
+paper-reproduction figures rest on (see docs/static-analysis.md): a PR
+that slips ``random.random()`` or a wall-clock read into simulation
+code fails here, not in a reviewer's head.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.lint import find_pyproject, lint_paths, load_config
+
+REPO_ROOT = Path(__file__).parents[2]
+SRC = REPO_ROOT / "src"
+
+
+def repo_config():
+    return load_config(find_pyproject(SRC))
+
+
+def test_src_tree_is_simlint_clean() -> None:
+    findings, files_checked = lint_paths([SRC], repo_config())
+    pretty = "\n".join(d.format_human() for d in findings)
+    assert not findings, f"simlint violations in src/:\n{pretty}"
+    assert files_checked >= 75  # the whole tree was actually scanned
+
+
+def test_benchmarks_are_wallclock_exempt_but_otherwise_checked() -> None:
+    config = repo_config()
+    findings, files_checked = lint_paths([REPO_ROOT / "benchmarks"], config)
+    assert files_checked >= 40
+    # Benchmarks measure wall time by design; SIM002 must not fire there.
+    assert not [d for d in findings if d.code == "SIM002"]
+
+
+def test_module_invocation_smoke() -> None:
+    """``python -m repro.lint src`` exits 0 from the repo root."""
+    env_src = str(SRC)
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.lint", "src"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        env={**os.environ, "PYTHONPATH": env_src},
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "clean" in proc.stdout
