@@ -57,6 +57,44 @@ def test_perf_flood_40k(benchmark):
     assert (depth >= 0).sum() > 1_000
 
 
+def test_perf_flood_40k_lossy(benchmark):
+    """Lossy flood (per-edge Bernoulli drops) on the 40k topology."""
+    topo = two_tier_gnutella(40_000, up_up_degree=8.0, seed=0)
+    rng = make_rng(4)
+
+    def run():
+        depth, _ = flood_depths(topo, 3, 5, p_loss=0.2, rng=rng)
+        return depth
+
+    depth = benchmark(run)
+    assert (depth >= 0).sum() > 100
+
+
+def test_perf_flood_success_curve(benchmark):
+    """One Fig. 8 Zipf curve (30 objects) on an 8k-node topology."""
+    from repro.core.experiment import Fig8TopologyConfig, build_fig8_topology
+    from repro.core.flood_sim import PlacementSpec, run_flood_success
+
+    topo = build_fig8_topology(Fig8TopologyConfig(n_nodes=8_000))
+
+    curve = benchmark(
+        run_flood_success,
+        topo,
+        PlacementSpec(),
+        n_eval_objects=30,
+        seed=0,
+    )
+    assert curve.success.size == 5
+
+
+def test_perf_to_networkx(benchmark):
+    """CSR-to-networkx export of the 40k-node topology."""
+    topo = two_tier_gnutella(40_000, up_up_degree=8.0, seed=0)
+
+    g = benchmark(topo.to_networkx)
+    assert g.number_of_edges() == topo.n_edges
+
+
 def test_perf_bloom_probe(benchmark):
     """100k membership probes against a 100k-capacity filter."""
     bf = BloomFilter.for_capacity(100_000, fp_rate=0.01)

@@ -5,11 +5,12 @@ user can regenerate any paper artifact without writing code::
 
     python -m repro gen-trace --out trace.npz
     python -m repro analyze trace.npz
-    python -m repro fig 8
+    python -m repro fig 8 --workers 4
     python -m repro reach
     python -m repro hybrid
     python -m repro mismatch
     python -m repro synopsis
+    python -m repro cache info
 """
 
 from __future__ import annotations
@@ -44,9 +45,18 @@ def build_parser() -> argparse.ArgumentParser:
     fig = sub.add_parser("fig", help="regenerate a paper figure")
     fig.add_argument("number", type=int, choices=(1, 2, 3, 4, 5, 6, 7, 8))
     fig.add_argument("--seed", type=int, default=0)
+    fig.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="process-pool width for fig 8 (0 = one per CPU); "
+        "results are identical for any value",
+    )
 
-    sub.add_parser("reach", help="the §V TTL reach table (T-REACH)")
-    sub.add_parser("hybrid", help="the §V hybrid-vs-DHT table (T-HYBRID)")
+    reach = sub.add_parser("reach", help="the §V TTL reach table (T-REACH)")
+    reach.add_argument("--workers", type=int, default=1)
+    hybrid = sub.add_parser("hybrid", help="the §V hybrid-vs-DHT table (T-HYBRID)")
+    hybrid.add_argument("--workers", type=int, default=1)
     sub.add_parser("mismatch", help="the §IV mismatch headline values (Figs. 5-7)")
     sub.add_parser("synopsis", help="the §VII adaptive-synopsis experiment (X-SYN)")
     sub.add_parser("resolvability", help="oracle query resolvability (T-RESOLV)")
@@ -62,6 +72,11 @@ def build_parser() -> argparse.ArgumentParser:
     export.add_argument(
         "--full", action="store_true", help="full Monte-Carlo sample counts"
     )
+
+    cache = sub.add_parser(
+        "cache", help="inspect or clear the on-disk artifact cache"
+    )
+    cache.add_argument("action", choices=("info", "clear"))
     return parser
 
 
@@ -180,7 +195,9 @@ def _cmd_fig(args: argparse.Namespace) -> int:
     # n == 8
     from repro.core.flood_sim import FloodSimConfig, run_fig8
 
-    result = run_fig8(FloodSimConfig(n_eval_objects=80, seed=args.seed))
+    result = run_fig8(
+        FloodSimConfig(n_eval_objects=80, seed=args.seed, n_workers=args.workers)
+    )
     headers = ["TTL"] + [c.label for c in result.curves]
     rows = []
     for i, ttl in enumerate(result.curves[0].ttls):
@@ -193,7 +210,7 @@ def _cmd_reach(args: argparse.Namespace) -> int:
     from repro.core.reach import PAPER_REACH, ReachConfig, measure_reach
     from repro.core.reporting import format_percent, format_table
 
-    result = measure_reach(ReachConfig(n_sources=40))
+    result = measure_reach(ReachConfig(n_sources=40, n_workers=args.workers))
     rows = [
         (
             ttl,
@@ -211,7 +228,9 @@ def _cmd_hybrid(args: argparse.Namespace) -> int:
     from repro.core.hybrid_eval import HybridEvalConfig, evaluate_hybrid
     from repro.core.reporting import format_table
 
-    result = evaluate_hybrid(HybridEvalConfig(n_eval_objects=80))
+    result = evaluate_hybrid(
+        HybridEvalConfig(n_eval_objects=80, n_workers=args.workers)
+    )
     print(format_table(["metric", "value"], result.as_rows(), title="T-HYBRID"))
     return 0
 
@@ -352,6 +371,27 @@ def _cmd_export(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.core.reporting import format_table
+    from repro.runtime.cache import cache_info, clear_cache
+
+    if args.action == "clear":
+        removed = clear_cache()
+        print(f"removed {removed} cached artifact(s)")
+        return 0
+    info = cache_info()
+    rows = [
+        ("path", info.path),
+        ("enabled", "yes" if info.enabled else "no (REPRO_CACHE=off)"),
+        ("entries", f"{info.n_entries:,}"),
+        ("size", f"{info.total_bytes / 1e6:.1f} MB"),
+    ]
+    for name, count in sorted(info.sections.items()):
+        rows.append((f"  {name}", f"{count:,} entr{'y' if count == 1 else 'ies'}"))
+    print(format_table(["key", "value"], rows, title="Artifact cache"))
+    return 0
+
+
 _COMMANDS = {
     "gen-trace": _cmd_gen_trace,
     "export": _cmd_export,
@@ -365,6 +405,7 @@ _COMMANDS = {
     "resolvability": _cmd_resolvability,
     "workload": _cmd_workload,
     "calibrate": _cmd_calibrate,
+    "cache": _cmd_cache,
 }
 
 

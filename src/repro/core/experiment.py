@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.overlay.topology import Topology, two_tier_gnutella
+from repro.runtime.cache import cached_call, config_digest
 from repro.tracegen.catalog import CatalogConfig, MusicCatalog
 from repro.tracegen.gnutella_trace import GnutellaShareTrace, GnutellaTraceConfig
 from repro.tracegen.query_trace import (
@@ -51,15 +52,29 @@ class Fig8TopologyConfig:
             raise ValueError("need at least two nodes")
 
 
+#: Bump when two_tier_gnutella's construction changes meaning.
+_TOPOLOGY_CACHE_VERSION = 1
+
+
 def build_fig8_topology(config: Fig8TopologyConfig | None = None) -> Topology:
-    """Construct the calibrated two-tier simulation topology."""
+    """Construct the calibrated two-tier simulation topology.
+
+    Served from the on-disk artifact cache when this exact config was
+    built before (``REPRO_CACHE=off`` disables; see
+    :mod:`repro.runtime.cache`).
+    """
     cfg = config or Fig8TopologyConfig()
-    return two_tier_gnutella(
-        cfg.n_nodes,
-        ultrapeer_fraction=cfg.ultrapeer_fraction,
-        up_up_degree=cfg.up_up_degree,
-        leaf_up_connections=cfg.leaf_up_connections,
-        seed=cfg.seed,
+    return cached_call(
+        "fig8-topology",
+        _TOPOLOGY_CACHE_VERSION,
+        config_digest(cfg),
+        lambda: two_tier_gnutella(
+            cfg.n_nodes,
+            ultrapeer_fraction=cfg.ultrapeer_fraction,
+            up_up_degree=cfg.up_up_degree,
+            leaf_up_connections=cfg.leaf_up_connections,
+            seed=cfg.seed,
+        ),
     )
 
 
@@ -73,16 +88,37 @@ class TraceBundle:
     file_term_counts: np.ndarray
 
 
+#: Bump when the trace generators change meaning.
+_BUNDLE_CACHE_VERSION = 1
+
+
 def build_trace_bundle(
     catalog_config: CatalogConfig | None = None,
     trace_config: GnutellaTraceConfig | None = None,
     workload_config: QueryWorkloadConfig | None = None,
 ) -> TraceBundle:
-    """Generate the calibrated default traces in one call."""
-    catalog = MusicCatalog(catalog_config)
-    trace = GnutellaShareTrace(catalog, trace_config)
-    counts = file_term_peer_counts(trace)
-    workload = QueryWorkload(catalog, counts, workload_config)
-    return TraceBundle(
-        catalog=catalog, trace=trace, workload=workload, file_term_counts=counts
+    """Generate the calibrated default traces in one call.
+
+    Served from the on-disk artifact cache when these exact configs
+    were generated before (``None`` hashes as the defaults it stands
+    for; ``REPRO_CACHE=off`` disables).
+    """
+    catalog_cfg = catalog_config or CatalogConfig()
+    trace_cfg = trace_config or GnutellaTraceConfig()
+    workload_cfg = workload_config or QueryWorkloadConfig()
+
+    def compute() -> TraceBundle:
+        catalog = MusicCatalog(catalog_cfg)
+        trace = GnutellaShareTrace(catalog, trace_cfg)
+        counts = file_term_peer_counts(trace)
+        workload = QueryWorkload(catalog, counts, workload_cfg)
+        return TraceBundle(
+            catalog=catalog, trace=trace, workload=workload, file_term_counts=counts
+        )
+
+    return cached_call(
+        "trace-bundle",
+        _BUNDLE_CACHE_VERSION,
+        config_digest(catalog_cfg, trace_cfg, workload_cfg),
+        compute,
     )

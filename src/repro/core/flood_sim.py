@@ -18,12 +18,16 @@ and all TTLs at once.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import partial
 
 import numpy as np
 
 from repro.core.experiment import Fig8TopologyConfig, build_fig8_topology
 from repro.overlay.flooding import flood_depths
 from repro.overlay.topology import Topology
+from repro.runtime.cache import cached_call, config_digest
+from repro.runtime.parallel import pmap
+from repro.runtime.shm import SharedTopology, SharedTopologySpec, attach_topology
 from repro.utils.rng import derive
 
 __all__ = [
@@ -115,7 +119,13 @@ def zipf_replica_counts(universe: int, exponent: float, mean_replicas: float) ->
 
 @dataclass(frozen=True)
 class FloodSimConfig:
-    """Parameters of a Fig. 8 run."""
+    """Parameters of a Fig. 8 run.
+
+    ``n_workers`` controls the process-pool fan-out of the per-object
+    floods (1 = serial, 0 = one per CPU).  It is an execution knob
+    only: every worker count produces bitwise-identical curves, and it
+    is excluded from the artifact-cache key.
+    """
 
     topology: Fig8TopologyConfig = field(default_factory=Fig8TopologyConfig)
     ttls: tuple[int, ...] = (1, 2, 3, 4, 5)
@@ -123,6 +133,7 @@ class FloodSimConfig:
     uniform_replicas: tuple[int, ...] = (1, 4, 9, 19, 39)
     zipf: PlacementSpec = field(default_factory=PlacementSpec)
     seed: int = 0
+    n_workers: int = 1
 
 
 @dataclass(frozen=True)
@@ -185,6 +196,23 @@ def _sample_objects(
     return perm[rng.choice(counts.size, size=n_eval, p=q)]
 
 
+def _profile_task(
+    replicas: np.ndarray,
+    rng: np.random.Generator,
+    *,
+    spec: SharedTopologySpec,
+    max_ttl: int,
+) -> np.ndarray:
+    """Worker task: one multi-source BFS against the shared topology.
+
+    The flood is a pure function of the (pre-drawn) replica set, so
+    the task-private ``rng`` that ``pmap`` supplies goes unused — the
+    replica placement randomness stays on the coordinator's stream,
+    which is what makes serial and parallel runs bitwise-identical.
+    """
+    return _success_profile(attach_topology(spec), replicas, max_ttl)
+
+
 def run_flood_success(
     topology: Topology,
     spec: PlacementSpec,
@@ -192,48 +220,93 @@ def run_flood_success(
     ttls: tuple[int, ...] = (1, 2, 3, 4, 5),
     n_eval_objects: int = 150,
     seed: int = 0,
+    n_workers: int = 1,
+    shared: SharedTopology | None = None,
 ) -> FloodSimCurve:
-    """Estimate the success-rate curve for one placement spec."""
+    """Estimate the success-rate curve for one placement spec.
+
+    All placement randomness is drawn up front on a single stream
+    derived from ``seed`` (exactly the stream the serial implementation
+    consumed); with ``n_workers > 1`` only the deterministic per-object
+    floods fan out, reading the topology from shared memory.  Pass a
+    pre-published ``shared`` handle to amortize the segment copy across
+    several curves on the same topology.
+    """
     rng = derive(seed, "floodsim", spec.label())
     max_ttl = int(max(ttls))
     n = topology.n_nodes
-    acc = np.zeros(max_ttl, dtype=np.float64)
     if spec.kind == "uniform":
         sizes = np.full(n_eval_objects, spec.n_replicas, dtype=np.int64)
     else:
         counts = zipf_replica_counts(spec.universe, spec.exponent, spec.mean_replicas)
         objects = _sample_objects(spec, counts, n_eval_objects, rng)
         sizes = counts[objects]
-    for size in sizes:
-        replicas = rng.choice(n, size=min(int(size), n), replace=False)
-        acc += _success_profile(topology, replicas, max_ttl)
+    replica_sets = [rng.choice(n, size=min(int(s), n), replace=False) for s in sizes]
+    if n_workers <= 1 or len(replica_sets) <= 1:
+        profiles = [_success_profile(topology, r, max_ttl) for r in replica_sets]
+    else:
+        share = SharedTopology(topology) if shared is None else shared
+        try:
+            task = partial(_profile_task, spec=share.spec, max_ttl=max_ttl)
+            profiles = pmap(
+                task,
+                replica_sets,
+                seed=seed,
+                key=f"floodsim-bfs/{spec.label()}",
+                n_workers=n_workers,
+            )
+        finally:
+            if shared is None:
+                share.close()
+    acc = np.zeros(max_ttl, dtype=np.float64)
+    for profile in profiles:
+        acc += profile
     acc /= n_eval_objects
     ttl_idx = np.asarray(ttls, dtype=np.int64) - 1
     return FloodSimCurve(label=spec.label(), ttls=tuple(ttls), success=acc[ttl_idx])
 
 
-def run_fig8(config: FloodSimConfig | None = None) -> FloodSimResult:
-    """Regenerate every curve of the paper's Fig. 8."""
-    cfg = config or FloodSimConfig()
+#: Bump when the Fig. 8 computation changes meaning.
+_FIG8_CACHE_VERSION = 1
+
+
+def _run_fig8_uncached(cfg: FloodSimConfig) -> FloodSimResult:
     topology = build_fig8_topology(cfg.topology)
-    curves = [
-        run_flood_success(
-            topology,
-            cfg.zipf,
-            ttls=cfg.ttls,
-            n_eval_objects=cfg.n_eval_objects,
-            seed=cfg.seed,
-        )
+    specs = [cfg.zipf] + [
+        PlacementSpec(kind="uniform", n_replicas=r) for r in cfg.uniform_replicas
     ]
-    for r in cfg.uniform_replicas:
-        spec = PlacementSpec(kind="uniform", n_replicas=r)
-        curves.append(
+
+    def curves_with(shared: SharedTopology | None) -> list[FloodSimCurve]:
+        return [
             run_flood_success(
                 topology,
                 spec,
                 ttls=cfg.ttls,
                 n_eval_objects=cfg.n_eval_objects,
                 seed=cfg.seed,
+                n_workers=cfg.n_workers,
+                shared=shared,
             )
-        )
-    return FloodSimResult(curves=curves)
+            for spec in specs
+        ]
+
+    if cfg.n_workers == 1:
+        return FloodSimResult(curves=curves_with(None))
+    # Publish the topology once; all six curves' worker floods attach
+    # to the same segments.
+    with SharedTopology(topology) as share:
+        return FloodSimResult(curves=curves_with(share))
+
+
+def run_fig8(config: FloodSimConfig | None = None) -> FloodSimResult:
+    """Regenerate every curve of the paper's Fig. 8.
+
+    The result is served from the artifact cache when an identical
+    config (ignoring ``n_workers``) was computed before; set
+    ``REPRO_CACHE=off`` to force recomputation.
+    """
+    cfg = config or FloodSimConfig()
+    digest = config_digest(cfg, exclude=("n_workers",))
+    return cached_call(
+        "fig8-result", _FIG8_CACHE_VERSION, digest, lambda: _run_fig8_uncached(cfg)
+    )

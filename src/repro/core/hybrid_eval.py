@@ -15,6 +15,7 @@ assembles the comparison table.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import partial
 
 import numpy as np
 
@@ -22,7 +23,10 @@ from repro.core.experiment import Fig8TopologyConfig, build_fig8_topology
 from repro.core.flood_sim import PlacementSpec, run_flood_success
 from repro.dht.chord import ChordRing
 from repro.overlay.flooding import flood_depths
+from repro.overlay.topology import Topology
 from repro.hybrid.cost_model import predicted_uniform_success
+from repro.runtime.parallel import pmap
+from repro.runtime.shm import SharedTopology, SharedTopologySpec, attach_topology
 from repro.utils.rng import derive
 
 __all__ = ["HybridEvalConfig", "HybridEvalResult", "evaluate_hybrid"]
@@ -41,6 +45,10 @@ class HybridEvalConfig:
     #: mean distinct terms per query, for DHT cost scaling.
     terms_per_query: float = 2.5
     seed: int = 0
+    #: process-pool width for the flood probes and per-object floods
+    #: (1 = serial, 0 = one per CPU); results are worker-count
+    #: independent.
+    n_workers: int = 1
 
 
 @dataclass(frozen=True)
@@ -78,8 +86,30 @@ class HybridEvalResult:
         ]
 
 
+def _probe_fallback(topology: Topology, source: int, ttl: int) -> tuple[float, float]:
+    """One probe flood: (peers reached, messages sent)."""
+    depth, msgs = flood_depths(topology, source, ttl)
+    return float(np.count_nonzero(depth >= 0) - 1), float(msgs)
+
+
+def _probe_task(
+    source: int,
+    rng: np.random.Generator,
+    *,
+    spec: SharedTopologySpec,
+    ttl: int,
+) -> tuple[float, float]:
+    """Worker task: one deterministic probe flood (``rng`` unused)."""
+    return _probe_fallback(attach_topology(spec), source, ttl)
+
+
 def evaluate_hybrid(config: HybridEvalConfig | None = None) -> HybridEvalResult:
-    """Measure the hybrid-vs-DHT comparison on the calibrated simulator."""
+    """Measure the hybrid-vs-DHT comparison on the calibrated simulator.
+
+    ``config.n_workers > 1`` fans the probe floods and the per-object
+    success floods out over a process pool; every worker count yields
+    the same result.
+    """
     cfg = config or HybridEvalConfig()
     topology = build_fig8_topology(cfg.topology)
     rng = derive(cfg.seed, "hybrid-eval")
@@ -87,12 +117,23 @@ def evaluate_hybrid(config: HybridEvalConfig | None = None) -> HybridEvalResult:
     # Flood phase: reach and message cost at the hybrid's TTL.
     forwarding = np.flatnonzero(topology.forwards)
     sources = forwarding[rng.integers(0, forwarding.size, size=cfg.n_flood_probes)]
-    reached = np.empty(cfg.n_flood_probes)
-    messages = np.empty(cfg.n_flood_probes)
-    for i, s in enumerate(sources):
-        depth, msgs = flood_depths(topology, int(s), cfg.flood_ttl)
-        reached[i] = np.count_nonzero(depth >= 0) - 1
-        messages[i] = msgs
+    source_list = [int(s) for s in sources]
+    if cfg.n_workers == 1:
+        probes = [
+            _probe_fallback(topology, s, cfg.flood_ttl) for s in source_list
+        ]
+    else:
+        with SharedTopology(topology) as share:
+            task = partial(_probe_task, spec=share.spec, ttl=cfg.flood_ttl)
+            probes = pmap(
+                task,
+                source_list,
+                seed=cfg.seed,
+                key="hybrid-probes",
+                n_workers=cfg.n_workers,
+            )
+    reached = np.asarray([p[0] for p in probes])
+    messages = np.asarray([p[1] for p in probes])
 
     # Flood success under the measured Zipf placement.
     curve = run_flood_success(
@@ -101,6 +142,7 @@ def evaluate_hybrid(config: HybridEvalConfig | None = None) -> HybridEvalResult:
         ttls=(cfg.flood_ttl,),
         n_eval_objects=cfg.n_eval_objects,
         seed=cfg.seed,
+        n_workers=cfg.n_workers,
     )
     flood_success = float(curve.success[0])
 

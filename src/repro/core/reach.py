@@ -32,6 +32,9 @@ class ReachConfig:
     ttls: tuple[int, ...] = (1, 2, 3, 4, 5)
     n_sources: int = 50
     seed: int = 0
+    #: process-pool width for the per-source floods (1 = serial,
+    #: 0 = one per CPU); results are worker-count independent.
+    n_workers: int = 1
 
 
 @dataclass(frozen=True)
@@ -68,5 +71,7 @@ def measure_reach(
     rng = derive(cfg.seed, "reach", "sources")
     forwarding = np.flatnonzero(topo.forwards)
     sources = forwarding[rng.integers(0, forwarding.size, size=cfg.n_sources)]
-    fractions = reach_fractions(topo, sources, list(cfg.ttls))
+    fractions = reach_fractions(
+        topo, sources, list(cfg.ttls), n_workers=cfg.n_workers
+    )
     return ReachResult(ttls=cfg.ttls, fractions=fractions, n_nodes=topo.n_nodes)

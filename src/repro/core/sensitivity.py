@@ -13,6 +13,7 @@ attributable to the mismatch itself rather than to Zipf placement.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import partial
 
 import numpy as np
 
@@ -20,6 +21,7 @@ from repro.analysis.popularity import top_k_set
 from repro.analysis.jaccard import jaccard
 from repro.analysis.resolvability import measure_resolvability
 from repro.overlay.content import SharedContentIndex
+from repro.runtime.parallel import pmap
 from repro.tracegen.catalog import CatalogConfig, MusicCatalog
 from repro.tracegen.gnutella_trace import GnutellaShareTrace, GnutellaTraceConfig
 from repro.tracegen.query_trace import (
@@ -41,6 +43,10 @@ class MismatchSensitivityConfig:
     catalog: CatalogConfig | None = None
     trace: GnutellaTraceConfig | None = None
     seed: int = 0
+    #: process-pool width for the sweep points (1 = serial, 0 = one
+    #: per CPU); results are worker-count independent because every
+    #: point is a pure function of (match_fraction, seed).
+    n_workers: int = 1
 
     def __post_init__(self) -> None:
         if not self.match_fractions:
@@ -64,13 +70,59 @@ class SensitivityPoint:
     median_result_peers: float
 
 
+def _sweep_point(
+    mf: float,
+    rng: np.random.Generator,
+    *,
+    catalog: MusicCatalog,
+    term_counts: np.ndarray,
+    content: SharedContentIndex,
+    popular_file: set[str],
+    top_k: int,
+    n_samples: int,
+    seed: int,
+) -> SensitivityPoint:
+    """One sweep point — a pure function of ``(mf, seed)``.
+
+    All randomness flows through the explicit ``seed`` (the workload
+    and resolvability sampling derive their own streams from it), so
+    the ``pmap``-supplied task ``rng`` goes unused and serial/parallel
+    sweeps agree bitwise.
+    """
+    workload = QueryWorkload(
+        catalog,
+        term_counts,
+        QueryWorkloadConfig(match_fraction=mf, seed=seed),
+    )
+    totals = np.zeros(workload.config.vocab_size, dtype=np.int64)
+    np.add.at(totals, workload.term_ids, 1)
+    query_top = {workload.vocab_words[i] for i in top_k_set(totals, top_k)}
+    similarity = jaccard(query_top, popular_file)
+    resolv = measure_resolvability(
+        workload,
+        content,
+        n_samples=n_samples,
+        seed=seed,
+    )
+    answered = resolv.peer_counts[resolv.result_counts > 0]
+    return SensitivityPoint(
+        match_fraction=mf,
+        query_file_similarity=similarity,
+        unresolvable_fraction=resolv.unresolvable_fraction,
+        rare_fraction=resolv.rare_fraction,
+        median_result_peers=float(np.median(answered)) if answered.size else 0.0,
+    )
+
+
 def run_mismatch_sensitivity(
     config: MismatchSensitivityConfig | None = None,
 ) -> list[SensitivityPoint]:
     """Sweep workload/annotation alignment; measure search feasibility.
 
     The share trace is generated once; each sweep point regenerates
-    only the query workload with a different ``match_fraction``.
+    only the query workload with a different ``match_fraction``.  With
+    ``config.n_workers > 1`` the points run on a process pool (each
+    point is seed-pure, so the sweep is worker-count independent).
     """
     cfg = config or MismatchSensitivityConfig()
     catalog = MusicCatalog(cfg.catalog)
@@ -80,34 +132,20 @@ def run_mismatch_sensitivity(
     popular_file = {
         catalog.lexicon.word(int(i)) for i in top_k_set(term_counts, cfg.top_k)
     }
-
-    points: list[SensitivityPoint] = []
-    for mf in cfg.match_fractions:
-        workload = QueryWorkload(
-            catalog,
-            term_counts,
-            QueryWorkloadConfig(match_fraction=mf, seed=cfg.seed),
-        )
-        totals = np.zeros(workload.config.vocab_size, dtype=np.int64)
-        np.add.at(totals, workload.term_ids, 1)
-        query_top = {
-            workload.vocab_words[i] for i in top_k_set(totals, cfg.top_k)
-        }
-        similarity = jaccard(query_top, popular_file)
-        resolv = measure_resolvability(
-            workload,
-            content,
-            n_samples=cfg.n_resolvability_samples,
-            seed=cfg.seed,
-        )
-        answered = resolv.peer_counts[resolv.result_counts > 0]
-        points.append(
-            SensitivityPoint(
-                match_fraction=mf,
-                query_file_similarity=similarity,
-                unresolvable_fraction=resolv.unresolvable_fraction,
-                rare_fraction=resolv.rare_fraction,
-                median_result_peers=float(np.median(answered)) if answered.size else 0.0,
-            )
-        )
-    return points
+    task = partial(
+        _sweep_point,
+        catalog=catalog,
+        term_counts=term_counts,
+        content=content,
+        popular_file=popular_file,
+        top_k=cfg.top_k,
+        n_samples=cfg.n_resolvability_samples,
+        seed=cfg.seed,
+    )
+    return pmap(
+        task,
+        cfg.match_fractions,
+        seed=cfg.seed,
+        key="mismatch-sensitivity",
+        n_workers=cfg.n_workers,
+    )

@@ -6,13 +6,17 @@ duplicate suppression (each node processes a query once).  The reached
 set is therefore the BFS ball of radius TTL, restricted to paths whose
 interior nodes forward.
 
-Everything is vectorized: the BFS frontier is a numpy array and each
-level is one gather + dedup.
+Everything is vectorized: the BFS frontier is a numpy array, each
+level is one CSR gather, and duplicate suppression runs on boolean
+masks (a ``visited`` map plus a reusable per-level scratch mask)
+instead of sorting the frontier with ``np.unique`` — the sort was the
+kernel's hot spot at the 40k-node Fig. 8 scale.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 
 import numpy as np
 
@@ -74,17 +78,25 @@ def flood_depths(
     if p_loss > 0.0 and rng is None:
         raise ValueError("p_loss > 0 requires an rng")
     sources = np.atleast_1d(np.asarray(sources, dtype=np.int64))
-    depth = np.full(topology.n_nodes, -1, dtype=np.int64)
+    n = topology.n_nodes
+    depth = np.full(n, -1, dtype=np.int64)
+    visited = np.zeros(n, dtype=bool)
+    visited[sources] = True
     depth[sources] = 0
-    frontier = np.unique(sources)
+    frontier = np.flatnonzero(visited)  # sorted unique sources
+    level_mask = np.zeros(n, dtype=bool)  # reusable per-level scratch
     messages = 0
-    offsets, neighbors = topology.offsets, topology.neighbors
+    offsets, neighbors, forwards = (
+        topology.offsets,
+        topology.neighbors,
+        topology.forwards,
+    )
     for level in range(1, max_depth + 1):
         if frontier.size == 0:
             break
         # Only forwarding nodes relay, except at level 1 where the
         # sources themselves emit.
-        senders = frontier if level == 1 else frontier[topology.forwards[frontier]]
+        senders = frontier if level == 1 else frontier[forwards[frontier]]
         if senders.size == 0:
             break
         lengths = offsets[senders + 1] - offsets[senders]
@@ -92,41 +104,89 @@ def flood_depths(
         targets = neighbors[gather]
         messages += targets.size
         if p_loss > 0.0:
+            assert rng is not None  # validated above
             targets = targets[rng.random(targets.size) >= p_loss]
-        new = np.unique(targets[depth[targets] < 0])
+        # Duplicate suppression without sorting: candidates are the
+        # unvisited targets; marking them in the scratch mask collapses
+        # within-level duplicates, and flatnonzero yields them sorted.
+        candidates = targets[~visited[targets]]
+        level_mask[candidates] = True
+        new = np.flatnonzero(level_mask)
+        level_mask[new] = False
+        visited[new] = True
         depth[new] = level
         frontier = new
-    return depth, messages
+    return depth, int(messages)
 
 
-def flood(topology: Topology, source: int, ttl: int) -> FloodResult:
-    """Flood from one source with the given TTL."""
-    depth, messages = flood_depths(topology, source, ttl)
+def flood(
+    topology: Topology,
+    source: int,
+    ttl: int,
+    *,
+    p_loss: float = 0.0,
+    rng: np.random.Generator | None = None,
+) -> FloodResult:
+    """Flood from one source with the given TTL.
+
+    ``p_loss``/``rng`` model lossy transport exactly as in
+    :func:`flood_depths`: each transmission is dropped independently
+    with probability ``p_loss`` (still counted in ``messages``).
+    """
+    depth, messages = flood_depths(topology, source, ttl, p_loss=p_loss, rng=rng)
     return FloodResult(source=source, ttl=ttl, depth=depth, messages=messages)
+
+
+def _reach_row(topology: Topology, source: int, ttls: np.ndarray, max_ttl: int) -> np.ndarray:
+    """Per-TTL reach fractions of one source's flood."""
+    depth, _ = flood_depths(topology, source, max_ttl)
+    reached = depth[depth >= 0]
+    level_counts = np.bincount(reached, minlength=max_ttl + 1)
+    cum = np.cumsum(level_counts)
+    # Exclude the source itself from "peers reached".
+    return (cum[ttls] - 1) / topology.n_nodes
+
+
+def _reach_row_task(source: int, rng: np.random.Generator, *, spec, ttls, max_ttl):
+    """Worker task: attach the shared topology, compute one row."""
+    # Deferred import: repro.runtime sits above the overlay layer.
+    from repro.runtime.shm import attach_topology
+
+    return _reach_row(attach_topology(spec), int(source), ttls, max_ttl)
 
 
 def reach_fractions(
     topology: Topology,
     sources: np.ndarray,
     ttls: np.ndarray | list[int],
+    *,
+    n_workers: int = 1,
 ) -> np.ndarray:
     """Mean fraction of nodes reached per TTL, averaged over sources.
 
     One BFS per source computes every TTL at once (TTL ``t`` reach is
     the number of nodes at depth <= ``t``).  This regenerates the
     paper's §V reach table (0.05% @ TTL 1 ... 82.95% @ TTL 5).
+
+    ``n_workers > 1`` fans the per-source floods out over a process
+    pool (the topology travels via shared memory); the result is
+    bitwise-identical to the serial run because each flood is a pure
+    function of its source.
     """
     ttls = np.asarray(ttls, dtype=np.int64)
     if ttls.size == 0:
         raise ValueError("need at least one TTL")
     max_ttl = int(ttls.max())
-    out = np.zeros((len(sources), ttls.size), dtype=np.float64)
-    n = topology.n_nodes
-    for i, s in enumerate(np.asarray(sources, dtype=np.int64)):
-        depth, _ = flood_depths(topology, int(s), max_ttl)
-        reached = depth[depth >= 0]
-        level_counts = np.bincount(reached, minlength=max_ttl + 1)
-        cum = np.cumsum(level_counts)
-        # Exclude the source itself from "peers reached".
-        out[i] = (cum[ttls] - 1) / n
-    return out.mean(axis=0)
+    source_list = [int(s) for s in np.asarray(sources, dtype=np.int64)]
+    if n_workers <= 1 or len(source_list) <= 1:
+        rows = [_reach_row(topology, s, ttls, max_ttl) for s in source_list]
+    else:
+        from repro.runtime.parallel import pmap
+        from repro.runtime.shm import SharedTopology
+
+        with SharedTopology(topology) as share:
+            task = partial(
+                _reach_row_task, spec=share.spec, ttls=ttls, max_ttl=max_ttl
+            )
+            rows = pmap(task, source_list, seed=0, key="reach", n_workers=n_workers)
+    return np.stack(rows).mean(axis=0)

@@ -61,15 +61,21 @@ class Topology:
         return self.neighbors[self.offsets[v] : self.offsets[v + 1]]
 
     def to_networkx(self) -> nx.Graph:
-        """Export to a networkx graph (node attribute ``forwards``)."""
+        """Export to a networkx graph (node attribute ``forwards``).
+
+        The edge list is extracted with one vectorized pass over the
+        CSR arrays (each undirected edge appears twice; the ``v < w``
+        copy is kept) instead of a per-node Python loop.
+        """
         g = nx.Graph()
         g.add_nodes_from(range(self.n_nodes))
-        for v in range(self.n_nodes):
-            for w in self.neighbors_of(v):
-                if v < w:
-                    g.add_edge(v, int(w))
+        src = np.repeat(np.arange(self.n_nodes, dtype=np.int64), np.diff(self.offsets))
+        keep = src < self.neighbors
+        g.add_edges_from(
+            np.stack([src[keep], self.neighbors[keep]], axis=1).tolist()
+        )
         nx.set_node_attributes(
-            g, {v: bool(self.forwards[v]) for v in range(self.n_nodes)}, "forwards"
+            g, dict(enumerate(self.forwards.tolist())), "forwards"
         )
         return g
 
@@ -125,6 +131,36 @@ def flat_random(
     return Topology(offsets, neighbors, np.ones(n_nodes, dtype=bool))
 
 
+def _sample_rows_without_replacement(
+    n_rows: int, k: int, n_choices: int, rng: np.random.Generator
+) -> np.ndarray:
+    """``(n_rows, k)`` integers in ``[0, n_choices)``, distinct per row.
+
+    Vectorized: draw all rows at once and redraw only the rows that
+    contain a duplicate.  Each round is one batched draw, and the
+    per-row collision probability is at most ``k^2 / (2 n_choices)``,
+    so the expected number of rounds is small whenever ``k`` is far
+    from ``n_choices``.  Near saturation (``n_choices < 4k``), where
+    rejection would thrash, each row instead takes the first ``k``
+    entries of an independently permuted ``arange(n_choices)``.
+    """
+    if k > n_choices:
+        raise ValueError("cannot sample more distinct values than exist")
+    if n_rows == 0 or k == 0:
+        return np.empty((n_rows, k), dtype=np.int64)
+    if n_choices < 4 * k:
+        rows = np.tile(np.arange(n_choices, dtype=np.int64), (n_rows, 1))
+        rng.permuted(rows, axis=1, out=rows)
+        return np.ascontiguousarray(rows[:, :k])
+    targets = rng.integers(0, n_choices, size=(n_rows, k), dtype=np.int64)
+    while True:
+        ordered = np.sort(targets, axis=1)
+        bad = np.flatnonzero((ordered[:, 1:] == ordered[:, :-1]).any(axis=1))
+        if bad.size == 0:
+            return targets
+        targets[bad] = rng.integers(0, n_choices, size=(bad.size, k), dtype=np.int64)
+
+
 def two_tier_gnutella(
     n_nodes: int,
     *,
@@ -154,11 +190,10 @@ def two_tier_gnutella(
     n_up_edges = int(round(n_up * up_up_degree / 2))
     up_edges = rng.integers(0, n_up, size=(n_up_edges, 2), dtype=np.int64)
 
-    # Leaf attachments: sample distinct ultrapeers per leaf.
+    # Leaf attachments: sample distinct ultrapeers per leaf (without
+    # replacement, so CSR merging never shrinks a leaf's degree).
     k = min(leaf_up_connections, n_up)
-    leaf_targets = np.empty((n_leaves, k), dtype=np.int64)
-    for j in range(k):
-        leaf_targets[:, j] = rng.integers(0, n_up, size=n_leaves)
+    leaf_targets = _sample_rows_without_replacement(n_leaves, k, n_up, rng)
     leaf_ids = np.arange(n_up, n_nodes, dtype=np.int64)
     leaf_edges = np.stack(
         [np.repeat(leaf_ids, k), leaf_targets.ravel()], axis=1

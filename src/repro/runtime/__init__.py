@@ -1,0 +1,45 @@
+"""Deterministic parallel experiment runtime.
+
+Three cooperating pieces, each usable on its own:
+
+* :mod:`repro.runtime.parallel` — ``pmap``, a process-pool fan-out
+  whose per-task RNGs come from :func:`repro.utils.rng.derive`, so the
+  result is bitwise-identical for any worker count.
+* :mod:`repro.runtime.shm` — publishes :class:`~repro.overlay.topology.
+  Topology` CSR arrays to POSIX shared memory so workers attach the
+  ~1M-element arrays instead of unpickling them per task.
+* :mod:`repro.runtime.cache` — a content-addressed on-disk artifact
+  cache keyed by a stable digest of the frozen config dataclasses, so
+  repeated runs skip topology/trace regeneration.
+
+See docs/performance.md for the architecture and invalidation rules.
+"""
+
+from __future__ import annotations
+
+from repro.runtime.cache import (
+    CacheInfo,
+    cache_dir,
+    cache_enabled,
+    cache_info,
+    cached_call,
+    clear_cache,
+    config_digest,
+)
+from repro.runtime.parallel import pmap, resolve_workers
+from repro.runtime.shm import SharedTopology, SharedTopologySpec, attach_topology
+
+__all__ = [
+    "CacheInfo",
+    "SharedTopology",
+    "SharedTopologySpec",
+    "attach_topology",
+    "cache_dir",
+    "cache_enabled",
+    "cache_info",
+    "cached_call",
+    "clear_cache",
+    "config_digest",
+    "pmap",
+    "resolve_workers",
+]

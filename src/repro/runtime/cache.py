@@ -1,0 +1,218 @@
+"""Content-addressed on-disk cache for expensive experiment artifacts.
+
+Every cacheable producer in :mod:`repro` is a pure function of a
+frozen config dataclass, so an artifact is fully identified by
+
+* a producer **name** (``"fig8-topology"``, ``"trace-bundle"``, ...),
+* the producer's **version** — an integer bumped whenever the code
+  behind it changes meaning (new algorithm, new calibration), and
+* the **digest** of the config: a SHA-256 over a canonical recursive
+  encoding of the dataclass (field names, types and values, nested
+  dataclasses included), via :func:`config_digest`.
+
+Entries live under ``<cache_dir>/<name>/v<version>-<digest>.pkl`` and
+are written atomically (temp file + rename), so concurrent runs never
+observe a torn entry.  The global :data:`CACHE_VERSION` is folded into
+every digest: bumping it invalidates the whole cache at once.
+
+Environment knobs:
+
+* ``REPRO_CACHE=off`` (or ``0``/``false``/``no``) disables the cache —
+  every ``cached_call`` recomputes and writes nothing.
+* ``REPRO_CACHE_DIR=<path>`` overrides the location (default:
+  ``$XDG_CACHE_HOME/repro`` or ``~/.cache/repro``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import os
+import pickle
+import shutil
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, TypeVar
+
+import numpy as np
+
+__all__ = [
+    "CACHE_VERSION",
+    "CacheInfo",
+    "cache_dir",
+    "cache_enabled",
+    "cache_info",
+    "cached_call",
+    "clear_cache",
+    "config_digest",
+]
+
+#: Global schema version, folded into every digest.  Bump to
+#: invalidate every cached artifact at once.
+CACHE_VERSION = 1
+
+_ENV_SWITCH = "REPRO_CACHE"
+_ENV_DIR = "REPRO_CACHE_DIR"
+_OFF_VALUES = frozenset({"0", "off", "false", "no", "disabled"})
+
+T = TypeVar("T")
+
+
+def cache_enabled() -> bool:
+    """Whether the artifact cache is active (``REPRO_CACHE`` opt-out)."""
+    return os.environ.get(_ENV_SWITCH, "on").strip().lower() not in _OFF_VALUES
+
+
+def cache_dir() -> Path:
+    """Cache root: ``REPRO_CACHE_DIR`` or the XDG cache location."""
+    override = os.environ.get(_ENV_DIR)
+    if override:
+        return Path(override)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro"
+
+
+def _encode(obj: Any, out: list[bytes], exclude: frozenset[str]) -> None:
+    """Append a canonical byte encoding of ``obj`` to ``out``.
+
+    Tagged so that distinct structures never collide byte-wise (e.g.
+    the string ``"1"`` vs the int ``1`` vs the tuple ``(1,)``).
+    ``exclude`` drops the named fields of the *top-level* dataclass
+    only — used for execution knobs like ``n_workers`` that do not
+    affect the artifact's value.
+    """
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        cls = type(obj)
+        out.append(b"D")
+        out.append(f"{cls.__module__}.{cls.__qualname__}".encode())
+        for field in dataclasses.fields(obj):
+            if field.name in exclude:
+                continue
+            out.append(b"F")
+            out.append(field.name.encode())
+            _encode(getattr(obj, field.name), out, frozenset())
+        out.append(b"d")
+    elif obj is None:
+        out.append(b"N")
+    elif isinstance(obj, bool):
+        out.append(b"B1" if obj else b"B0")
+    elif isinstance(obj, (int, np.integer)):
+        out.append(b"I" + str(int(obj)).encode())
+    elif isinstance(obj, (float, np.floating)):
+        # repr() round-trips doubles exactly.
+        out.append(b"X" + repr(float(obj)).encode())
+    elif isinstance(obj, str):
+        encoded = obj.encode()
+        out.append(b"S" + str(len(encoded)).encode() + b":" + encoded)
+    elif isinstance(obj, bytes):
+        out.append(b"Y" + str(len(obj)).encode() + b":" + obj)
+    elif isinstance(obj, np.ndarray):
+        data = np.ascontiguousarray(obj)
+        out.append(b"A" + data.dtype.str.encode() + repr(data.shape).encode())
+        out.append(hashlib.sha256(data.tobytes()).digest())
+    elif isinstance(obj, (tuple, list)):
+        out.append(b"T" if isinstance(obj, tuple) else b"L")
+        for element in obj:
+            _encode(element, out, frozenset())
+        out.append(b"t")
+    elif isinstance(obj, dict):
+        out.append(b"M")
+        for key in sorted(obj, key=repr):
+            _encode(key, out, frozenset())
+            _encode(obj[key], out, frozenset())
+        out.append(b"m")
+    else:
+        raise TypeError(
+            f"cannot canonically encode {type(obj).__name__!r} for a cache key; "
+            "use dataclasses and plain scalars/tuples in configs"
+        )
+
+
+def config_digest(*objects: Any, exclude: tuple[str, ...] = ()) -> str:
+    """Stable hex digest of one or more config objects.
+
+    ``exclude`` names top-level dataclass fields to leave out of the
+    key (execution details such as worker counts that cannot change
+    the computed artifact).
+    """
+    parts: list[bytes] = [f"cache-schema-{CACHE_VERSION}".encode()]
+    dropped = frozenset(exclude)
+    for obj in objects:
+        _encode(obj, parts, dropped)
+    return hashlib.sha256(b"\x00".join(parts)).hexdigest()[:32]
+
+
+def _entry_path(name: str, version: int, digest: str) -> Path:
+    return cache_dir() / name / f"v{version}-{digest}.pkl"
+
+
+def cached_call(name: str, version: int, digest: str, compute: Callable[[], T]) -> T:
+    """Return the cached artifact for ``(name, version, digest)``.
+
+    On a miss (or with the cache disabled) runs ``compute()``; hits
+    deserialize a fresh object, so callers never alias each other's
+    results.  Unreadable entries (torn writes from a crash, pickle
+    format drift) are treated as misses and overwritten.
+    """
+    if not cache_enabled():
+        return compute()
+    path = _entry_path(name, version, digest)
+    if path.is_file():
+        try:
+            with path.open("rb") as handle:
+                return pickle.load(handle)  # type: ignore[no-any-return]
+        except (pickle.UnpicklingError, EOFError, AttributeError, OSError):
+            pass  # fall through to recompute and rewrite
+    value = compute()
+    path.parent.mkdir(parents=True, exist_ok=True)
+    temp = path.with_name(path.name + f".tmp-{os.getpid()}")
+    with temp.open("wb") as handle:
+        pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+    os.replace(temp, path)
+    return value
+
+
+@dataclass(frozen=True)
+class CacheInfo:
+    """Summary of the on-disk cache state."""
+
+    path: str
+    enabled: bool
+    n_entries: int
+    total_bytes: int
+    #: entry count per producer name.
+    sections: dict[str, int]
+
+
+def cache_info() -> CacheInfo:
+    """Inventory the cache directory (cheap: stats only)."""
+    root = cache_dir()
+    n_entries = 0
+    total_bytes = 0
+    sections: dict[str, int] = {}
+    if root.is_dir():
+        for entry in sorted(root.glob("*/*.pkl")):
+            n_entries += 1
+            total_bytes += entry.stat().st_size
+            sections[entry.parent.name] = sections.get(entry.parent.name, 0) + 1
+    return CacheInfo(
+        path=str(root),
+        enabled=cache_enabled(),
+        n_entries=n_entries,
+        total_bytes=total_bytes,
+        sections=sections,
+    )
+
+
+def clear_cache() -> int:
+    """Delete every cached artifact; returns the number removed."""
+    info = cache_info()
+    root = cache_dir()
+    if root.is_dir():
+        for child in root.iterdir():
+            if child.is_dir():
+                shutil.rmtree(child)
+            else:
+                child.unlink()
+    return info.n_entries

@@ -1,0 +1,94 @@
+"""Deterministic process-pool fan-out (``pmap``).
+
+The contract: ``pmap(fn, items, seed=s, key=k)`` calls
+``fn(item, derive(s, k, index))`` for every item and returns the
+results in item order.  Because each task's generator is *derived*
+from ``(seed, key, index)`` — never from a shared stream — the output
+is bitwise-identical whether the tasks run serially in-process or
+fanned out over any number of worker processes.
+
+Workers receive ``fn`` by pickling, so it must be a module-level
+function (or a :func:`functools.partial` of one).  Large shared inputs
+— chiefly the CSR :class:`~repro.overlay.topology.Topology` arrays —
+should travel through :mod:`repro.runtime.shm` rather than being
+captured in the partial, which would re-pickle them for every task.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import Future, ProcessPoolExecutor
+from typing import Callable, Iterable, TypeVar
+
+import numpy as np
+
+from repro.utils.rng import derive
+
+__all__ = ["pmap", "resolve_workers"]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Per-task callables receive the item and a task-private generator.
+TaskFn = Callable[[T, np.random.Generator], R]
+
+
+def resolve_workers(n_workers: int) -> int:
+    """Normalize a worker-count config field.
+
+    ``1`` (the default everywhere) means serial in-process execution;
+    ``0`` means "one per available CPU"; anything negative is an error.
+    """
+    if n_workers < 0:
+        raise ValueError(f"n_workers must be >= 0, got {n_workers}")
+    if n_workers == 0:
+        return os.cpu_count() or 1
+    return n_workers
+
+
+def _run_task(fn: TaskFn, item: T, seed: int, key: str | int, index: int) -> R:
+    """Worker-side shim: derive the task RNG, then run the task."""
+    return fn(item, derive(seed, key, index))
+
+
+def _mp_context() -> multiprocessing.context.BaseContext:
+    """Prefer ``fork`` (cheap start, inherits shm attachments)."""
+    if "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+def pmap(
+    fn: TaskFn,
+    items: Iterable[T],
+    *,
+    seed: int,
+    key: str | int,
+    n_workers: int = 1,
+) -> list[R]:
+    """Deterministic (possibly parallel) map over ``items``.
+
+    Each task ``i`` runs ``fn(items[i], derive(seed, key, i))``;
+    results come back in item order.  ``n_workers <= 1`` runs in
+    process with no pool at all, ``n_workers == 0`` auto-sizes to the
+    CPU count, and any worker count yields bitwise-identical results
+    because the per-task generators depend only on ``(seed, key, i)``.
+
+    ``key`` namespaces the task streams: two ``pmap`` calls inside one
+    experiment must use distinct keys or their tasks will share RNG
+    streams index-for-index.
+    """
+    items_list = list(items)
+    workers = resolve_workers(n_workers)
+    if workers <= 1 or len(items_list) <= 1:
+        return [
+            _run_task(fn, item, seed, key, i) for i, item in enumerate(items_list)
+        ]
+    workers = min(workers, len(items_list))
+    with ProcessPoolExecutor(max_workers=workers, mp_context=_mp_context()) as pool:
+        futures: list[Future[R]] = [
+            pool.submit(_run_task, fn, item, seed, key, i)
+            for i, item in enumerate(items_list)
+        ]
+        return [f.result() for f in futures]

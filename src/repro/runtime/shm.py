@@ -1,0 +1,147 @@
+"""Shared-memory transport for :class:`~repro.overlay.topology.Topology`.
+
+The Fig. 8 topology's CSR arrays hold ~1M int64 entries; pickling them
+into every worker task would dominate the fan-out cost.  Instead the
+owner publishes the three arrays (``offsets``, ``neighbors``,
+``forwards``) into POSIX shared-memory segments once, and workers
+attach zero-copy read-only views by segment name.
+
+Lifecycle: the *owner* process creates a :class:`SharedTopology`
+(ideally as a context manager) and ships the tiny picklable
+:class:`SharedTopologySpec` to workers, which call
+:func:`attach_topology`.  Attachments are cached per process, so a
+pool worker maps each segment once no matter how many tasks it runs.
+The owner's ``close()`` unlinks the segments; workers must not outlive
+it.  Under the ``fork`` start method workers inherit the owner's
+attachment cache and never reopen the segments by name at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from multiprocessing import resource_tracker, shared_memory
+
+import numpy as np
+
+from repro.overlay.topology import Topology
+
+__all__ = [
+    "SharedArraySpec",
+    "SharedTopology",
+    "SharedTopologySpec",
+    "attach_topology",
+]
+
+
+@dataclass(frozen=True)
+class SharedArraySpec:
+    """Address of one array in shared memory (picklable, tiny)."""
+
+    name: str
+    shape: tuple[int, ...]
+    dtype: str
+
+
+@dataclass(frozen=True)
+class SharedTopologySpec:
+    """Addresses of a topology's three CSR arrays."""
+
+    offsets: SharedArraySpec
+    neighbors: SharedArraySpec
+    forwards: SharedArraySpec
+
+
+#: Per-process attachment cache: one mapping per published topology.
+_ATTACHED: dict[SharedTopologySpec, Topology] = {}
+#: Keeps attached segments alive for the lifetime of the process —
+#: a SharedMemory object that gets collected unmaps its buffer.
+_SEGMENTS: dict[SharedTopologySpec, list[shared_memory.SharedMemory]] = {}
+
+
+def _untrack(segment: shared_memory.SharedMemory) -> None:
+    """Undo the attach-side resource_tracker registration.
+
+    On Python < 3.13 every ``SharedMemory(name=...)`` attach registers
+    the segment with the process's resource tracker, which then tries
+    to unlink it again at exit (the owner already did) and warns about
+    "leaked" objects.  Only the owner should track the segment.
+    """
+    resource_tracker.unregister(getattr(segment, "_name", segment.name), "shared_memory")
+
+
+def _export(array: np.ndarray) -> tuple[SharedArraySpec, shared_memory.SharedMemory, np.ndarray]:
+    segment = shared_memory.SharedMemory(create=True, size=max(1, array.nbytes))
+    view: np.ndarray = np.ndarray(array.shape, dtype=array.dtype, buffer=segment.buf)
+    view[...] = array
+    view.flags.writeable = False
+    return SharedArraySpec(segment.name, array.shape, array.dtype.str), segment, view
+
+
+class SharedTopology:
+    """Owner handle for a topology published to shared memory.
+
+    The owner keeps working against the same bytes the workers see:
+    ``self.spec`` is the worker-side address, and the segments live
+    until :meth:`close` (or context-manager exit).
+    """
+
+    def __init__(self, topology: Topology) -> None:
+        off_spec, off_seg, off_view = _export(np.ascontiguousarray(topology.offsets))
+        nbr_spec, nbr_seg, nbr_view = _export(np.ascontiguousarray(topology.neighbors))
+        fwd_spec, fwd_seg, fwd_view = _export(np.ascontiguousarray(topology.forwards))
+        self.spec = SharedTopologySpec(off_spec, nbr_spec, fwd_spec)
+        self._segments = [off_seg, nbr_seg, fwd_seg]
+        self._closed = False
+        # Pre-seed the attachment cache: fork-started workers inherit
+        # it and read the owner's mapping directly, and in-process
+        # "workers" (n_workers=1 fallbacks) skip the name lookup.
+        _ATTACHED[self.spec] = Topology(off_view, nbr_view, fwd_view)
+
+    def close(self) -> None:
+        """Unlink the segments.  Workers must be joined before this."""
+        if self._closed:
+            return
+        self._closed = True
+        _ATTACHED.pop(self.spec, None)
+        _SEGMENTS.pop(self.spec, None)
+        for segment in self._segments:
+            segment.close()
+            try:
+                segment.unlink()
+            except FileNotFoundError:  # pragma: no cover - double unlink
+                pass
+
+    def __enter__(self) -> "SharedTopology":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except (AttributeError, TypeError):
+            # Interpreter shutdown: module globals may already be gone.
+            pass
+
+
+def attach_topology(spec: SharedTopologySpec) -> Topology:
+    """Map a published topology into this process (cached, read-only)."""
+    cached = _ATTACHED.get(spec)
+    if cached is not None:
+        return cached
+    segments: list[shared_memory.SharedMemory] = []
+    arrays: list[np.ndarray] = []
+    for array_spec in (spec.offsets, spec.neighbors, spec.forwards):
+        segment = shared_memory.SharedMemory(name=array_spec.name)
+        _untrack(segment)
+        segments.append(segment)
+        view: np.ndarray = np.ndarray(
+            array_spec.shape, dtype=np.dtype(array_spec.dtype), buffer=segment.buf
+        )
+        view.flags.writeable = False
+        arrays.append(view)
+    topology = Topology(arrays[0], arrays[1], arrays[2])
+    _ATTACHED[spec] = topology
+    _SEGMENTS[spec] = segments
+    return topology

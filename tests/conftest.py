@@ -8,6 +8,8 @@ Small fixtures are built fresh where mutation matters.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
@@ -18,6 +20,24 @@ from repro.tracegen.catalog import CatalogConfig, MusicCatalog
 from repro.tracegen.gnutella_trace import GnutellaShareTrace, GnutellaTraceConfig
 from repro.tracegen.itunes_trace import ITunesShareTrace, ITunesTraceConfig
 from repro.tracegen.query_trace import QueryWorkload, QueryWorkloadConfig
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_artifact_cache(tmp_path_factory: pytest.TempPathFactory):
+    """Point the artifact cache at a per-session temp dir.
+
+    The suite still exercises the cache code paths (hits within the
+    session), but never reads from or pollutes the developer's real
+    ``~/.cache/repro``, whose entries could predate the code under
+    test.
+    """
+    previous = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(tmp_path_factory.mktemp("repro-cache"))
+    yield
+    if previous is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = previous
 
 
 @pytest.fixture(scope="session")

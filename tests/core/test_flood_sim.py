@@ -102,6 +102,55 @@ class TestFig8Claims:
             fig8_result.curve("nope")
 
 
+class TestRuntimeDeterminism:
+    """Worker count and cache must never change experiment values."""
+
+    SMALL = dict(
+        topology=Fig8TopologyConfig(n_nodes=3_000),
+        ttls=(1, 2, 3),
+        n_eval_objects=12,
+        uniform_replicas=(1, 4),
+    )
+
+    def test_run_fig8_worker_count_independent(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE", "off")
+        serial = run_fig8(FloodSimConfig(**self.SMALL, n_workers=1))
+        parallel = run_fig8(FloodSimConfig(**self.SMALL, n_workers=2))
+        assert [c.label for c in serial.curves] == [c.label for c in parallel.curves]
+        for a, b in zip(serial.curves, parallel.curves):
+            np.testing.assert_array_equal(a.success, b.success)
+
+    def test_run_fig8_cache_hit_equal(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        first = run_fig8(FloodSimConfig(**self.SMALL))
+        second = run_fig8(FloodSimConfig(**self.SMALL))
+        assert second is not first
+        for a, b in zip(first.curves, second.curves):
+            np.testing.assert_array_equal(a.success, b.success)
+
+    def test_cache_key_ignores_n_workers(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        run_fig8(FloodSimConfig(**self.SMALL, n_workers=1))
+        from repro.runtime.cache import cache_info
+
+        before = cache_info().n_entries
+        run_fig8(FloodSimConfig(**self.SMALL, n_workers=2))
+        assert cache_info().n_entries == before
+
+    def test_run_flood_success_worker_count_independent(self):
+        from repro.core.experiment import build_fig8_topology
+
+        topo = build_fig8_topology(Fig8TopologyConfig(n_nodes=3_000))
+        spec = PlacementSpec()
+        serial = run_flood_success(
+            topo, spec, ttls=(1, 2, 3), n_eval_objects=20, seed=4, n_workers=1
+        )
+        parallel = run_flood_success(
+            topo, spec, ttls=(1, 2, 3), n_eval_objects=20, seed=4, n_workers=2
+        )
+        np.testing.assert_array_equal(serial.success, parallel.success)
+
+
 class TestQueryModels:
     @pytest.fixture(scope="class")
     def topo(self):

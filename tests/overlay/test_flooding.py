@@ -151,3 +151,36 @@ class TestLossyFlooding:
             flood_depths(small_two_tier, 0, 2, p_loss=1.0, rng=make_rng(0))
         with pytest.raises(ValueError, match="requires an rng"):
             flood_depths(small_two_tier, 0, 2, p_loss=0.5)
+
+
+class TestLossyFloodApi:
+    """``flood()`` forwards ``p_loss``/``rng`` to the kernel."""
+
+    def test_loss_reduces_reach(self, small_two_tier):
+        from repro.utils.rng import make_rng
+
+        clean = flood(small_two_tier, 0, 4)
+        lossy = flood(small_two_tier, 0, 4, p_loss=0.5, rng=make_rng(1))
+        assert lossy.n_reached < clean.n_reached
+
+    def test_matches_kernel_stream(self, small_two_tier):
+        from repro.utils.rng import make_rng
+
+        depth, messages = flood_depths(
+            small_two_tier, 0, 4, p_loss=0.3, rng=make_rng(5)
+        )
+        result = flood(small_two_tier, 0, 4, p_loss=0.3, rng=make_rng(5))
+        np.testing.assert_array_equal(result.reached, np.flatnonzero(depth >= 0))
+        assert result.messages == messages
+
+    def test_validation_forwarded(self, small_two_tier):
+        with pytest.raises(ValueError, match="requires an rng"):
+            flood(small_two_tier, 0, 2, p_loss=0.5)
+
+
+class TestParallelReach:
+    def test_worker_count_independent(self, small_two_tier):
+        sources = np.array([0, 1, 2, 3, 4])
+        serial = reach_fractions(small_two_tier, sources, [1, 2, 3], n_workers=1)
+        parallel = reach_fractions(small_two_tier, sources, [1, 2, 3], n_workers=2)
+        np.testing.assert_array_equal(serial, parallel)

@@ -68,11 +68,30 @@ class TestTwoTier:
             assert (neigh < n_up).all()
 
     def test_leaf_connection_count(self):
+        # Regression: leaves used to sample ultrapeers *with*
+        # replacement, so CSR merging silently shrank some degrees.
         topo = two_tier_gnutella(500, leaf_up_connections=2, seed=3)
         n_up = int(topo.forwards.sum())
         leaf_degrees = topo.degree()[n_up:]
-        assert leaf_degrees.max() <= 2  # duplicates merged, so <= 2
-        assert leaf_degrees.min() >= 1
+        assert leaf_degrees.min() == leaf_degrees.max() == 2
+
+    def test_leaf_connection_count_near_saturation(self):
+        # k close to n_up exercises the permutation fallback path.
+        topo = two_tier_gnutella(
+            40, ultrapeer_fraction=0.1, leaf_up_connections=3, seed=3
+        )
+        n_up = int(topo.forwards.sum())
+        leaf_degrees = topo.degree()[n_up:]
+        assert leaf_degrees.min() == leaf_degrees.max() == 3
+
+    def test_leaf_connections_capped_at_ultrapeer_count(self):
+        # More requested connections than ultrapeers: every leaf
+        # attaches to all of them, exactly once each.
+        topo = two_tier_gnutella(
+            30, ultrapeer_fraction=0.1, leaf_up_connections=10, seed=3
+        )
+        n_up = int(topo.forwards.sum())
+        assert (topo.degree()[n_up:] == n_up).all()
 
     def test_symmetric(self, small_two_tier):
         assert_symmetric(small_two_tier)

@@ -1,0 +1,142 @@
+"""Tests for repro.runtime.cache (content-addressed artifact cache)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+import pytest
+
+from repro.runtime.cache import (
+    cache_dir,
+    cache_enabled,
+    cache_info,
+    cached_call,
+    clear_cache,
+    config_digest,
+)
+
+
+@dataclass(frozen=True)
+class _Cfg:
+    n_nodes: int = 40_000
+    fraction: float = 0.3
+    label: str = "fig8"
+    ttls: tuple[int, ...] = (1, 2, 3)
+    seed: int = 0
+    n_workers: int = 1
+
+
+@pytest.fixture()
+def isolated_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    monkeypatch.delenv("REPRO_CACHE", raising=False)
+    return tmp_path
+
+
+class TestConfigDigest:
+    def test_stable_across_calls(self):
+        assert config_digest(_Cfg()) == config_digest(_Cfg())
+
+    def test_every_field_matters(self):
+        base = config_digest(_Cfg())
+        variants = [
+            _Cfg(n_nodes=40_001),
+            _Cfg(fraction=0.31),
+            _Cfg(label="fig9"),
+            _Cfg(ttls=(1, 2, 4)),
+            _Cfg(seed=1),
+            _Cfg(n_workers=2),
+        ]
+        digests = [config_digest(v) for v in variants]
+        assert base not in digests
+        assert len(set(digests)) == len(digests)
+
+    def test_exclude_removes_field(self):
+        assert config_digest(_Cfg(), exclude=("n_workers",)) == config_digest(
+            _Cfg(n_workers=8), exclude=("n_workers",)
+        )
+
+    def test_type_distinctions(self):
+        # int 1 vs float 1.0 vs str "1" must all differ.
+        digests = {config_digest(v) for v in (1, 1.0, "1", True, None)}
+        assert len(digests) == 5
+
+    def test_ndarray_content_hashed(self):
+        a = config_digest(np.arange(4))
+        b = config_digest(np.arange(4))
+        c = config_digest(np.arange(5))
+        d = config_digest(np.arange(4, dtype=np.float64))
+        assert a == b and a != c and a != d
+
+    def test_unhashable_type_rejected(self):
+        with pytest.raises(TypeError, match="cache key"):
+            config_digest(object())
+
+
+class TestCachedCall:
+    def test_hit_returns_equal_object(self, isolated_cache):
+        calls: list[int] = []
+
+        def compute() -> dict[str, np.ndarray]:
+            calls.append(1)
+            return {"curve": np.linspace(0.0, 1.0, 5)}
+
+        digest = config_digest(_Cfg())
+        first = cached_call("unit", 1, digest, compute)
+        second = cached_call("unit", 1, digest, compute)
+        assert calls == [1]
+        assert second is not first
+        np.testing.assert_array_equal(first["curve"], second["curve"])
+
+    def test_version_bump_invalidates(self, isolated_cache):
+        calls: list[int] = []
+
+        def compute() -> int:
+            calls.append(1)
+            return 42
+
+        digest = config_digest(_Cfg())
+        cached_call("unit", 1, digest, compute)
+        cached_call("unit", 2, digest, compute)
+        assert calls == [1, 1]
+
+    def test_env_opt_out_bypasses(self, isolated_cache, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE", "off")
+        assert not cache_enabled()
+        calls: list[int] = []
+
+        def compute() -> int:
+            calls.append(1)
+            return 7
+
+        digest = config_digest(_Cfg())
+        cached_call("unit", 1, digest, compute)
+        cached_call("unit", 1, digest, compute)
+        assert calls == [1, 1]
+
+    def test_corrupted_entry_recomputed(self, isolated_cache):
+        digest = config_digest(_Cfg())
+        cached_call("unit", 1, digest, lambda: 5)
+        (entry,) = (isolated_cache / "unit").glob("*.pkl")
+        entry.write_bytes(b"not a pickle")
+        assert cached_call("unit", 1, digest, lambda: 6) == 6
+
+
+class TestInfoAndClear:
+    def test_info_counts_entries(self, isolated_cache):
+        assert cache_info().n_entries == 0
+        cached_call("sec-a", 1, config_digest(1), lambda: "x")
+        cached_call("sec-b", 1, config_digest(2), lambda: "y")
+        info = cache_info()
+        assert info.enabled
+        assert info.path == str(cache_dir())
+        assert info.n_entries == 2
+        assert info.total_bytes > 0
+        assert info.sections == {"sec-a": 1, "sec-b": 1}
+
+    def test_clear_empties(self, isolated_cache):
+        cached_call("sec", 1, config_digest(1), lambda: "x")
+        assert clear_cache() == 1
+        assert cache_info().n_entries == 0
+        assert clear_cache() == 0
