@@ -16,7 +16,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.reporting import format_percent, format_table
-from repro.overlay.qrp import QrpTables, qrp_flood
+from repro.overlay.qrp import QrpTables, qrp_flood_batch
 from repro.overlay.replication import allocate_replicas, expected_search_size
 from repro.overlay.topology import two_tier_gnutella
 from repro.utils.rng import make_rng
@@ -30,16 +30,15 @@ def test_qrp_message_savings(benchmark, bundle, content):
     rng = make_rng(13)
 
     def run():
-        savings = []
-        fps = []
         n_up = int(topology.forwards.sum())
-        for qi in rng.integers(0, workload.n_queries, size=40):
-            words = workload.query_words(int(qi))
-            source = int(rng.integers(0, n_up))
-            result = qrp_flood(topology, tables, source, words, ttl=3)
-            savings.append(result.savings)
-            fps.append(result.false_positive_deliveries)
-        return float(np.mean(savings)), float(np.mean(fps))
+        picks = rng.integers(0, workload.n_queries, size=40)
+        queries = []
+        sources = np.empty(picks.size, dtype=np.int64)
+        for i, qi in enumerate(picks):
+            queries.append(workload.query_words(int(qi)))
+            sources[i] = int(rng.integers(0, n_up))
+        out = qrp_flood_batch(topology, tables, sources, queries, ttl=3)
+        return float(out.savings.mean()), float(out.false_positive_deliveries.mean())
 
     mean_savings, mean_fp = benchmark.pedantic(run, rounds=1, iterations=1)
 

@@ -15,7 +15,7 @@ from repro.dht.chord import ChordRing
 from repro.dht.keyword_index import KeywordIndex
 from repro.overlay.bandwidth import DEFAULT_WIRE
 from repro.overlay.network import UnstructuredNetwork
-from repro.overlay.qrp import QrpTables, qrp_flood
+from repro.overlay.qrp import QrpTables, qrp_flood_batch
 from repro.overlay.topology import two_tier_gnutella
 from repro.utils.rng import make_rng
 
@@ -33,16 +33,27 @@ def test_bandwidth_comparison(benchmark, bundle, content):
     n_queries = 50
     picks = rng.integers(0, workload.n_queries, size=n_queries)
     sources = rng.integers(0, n_up, size=n_queries)
+    queries = [workload.query_words(int(qi)) for qi in picks]
 
     def run():
+        # Flood and QRP traffic via the batched engines (one shared
+        # depth cache); the wire arithmetic stays per-query.
+        flood = network.query_batch(sources, queries, ttl=3)
+        qrp = qrp_flood_batch(
+            topology,
+            tables,
+            sources,
+            queries,
+            ttl=3,
+            cache=network.batch_engine().flood_cache,
+        )
         flood_b = qrp_b = dht_b = 0
-        for qi, src in zip(picks, sources):
-            words = workload.query_words(int(qi))
-            f = network.query_flood(int(src), words, ttl=3)
-            flood_b += w.query_bytes(f.messages) + w.hit_bytes(f.n_results)
-            q = qrp_flood(topology, tables, int(src), words, ttl=3)
-            qrp_b += w.query_bytes(q.messages)
-            d = index.query(words, int(src), intersection="bloom")
+        for i, src in enumerate(sources):
+            flood_b += w.query_bytes(int(flood.messages[i])) + w.hit_bytes(
+                int(flood.n_results[i])
+            )
+            qrp_b += w.query_bytes(int(qrp.messages[i]))
+            d = index.query(queries[i], int(src), intersection="bloom")
             dht_b += w.dht_query_bytes(d.lookup_hops, d.posting_entries_shipped)
         # QRP's standing cost: every leaf uploads its QRT to each of
         # its ultrapeers once per session.

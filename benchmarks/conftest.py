@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core.experiment import TraceBundle, build_trace_bundle
+from repro.core.experiment import TraceBundle, build_content_index, build_trace_bundle
 from repro.overlay.content import SharedContentIndex
 from repro.tracegen import presets
 from repro.tracegen.catalog import MusicCatalog
@@ -29,7 +29,7 @@ def bundle() -> TraceBundle:
 
 @pytest.fixture(scope="session")
 def content(bundle: TraceBundle) -> SharedContentIndex:
-    return SharedContentIndex(bundle.trace)
+    return build_content_index(bundle.trace)
 
 
 @pytest.fixture(scope="session")

@@ -80,14 +80,22 @@ def measure_resolvability(
         raise ValueError("rare_threshold must be positive")
     rng = derive(seed, "resolvability")
     picks = rng.integers(0, workload.n_queries, size=n_samples)
-    results = np.zeros(n_samples, dtype=np.int64)
-    peers = np.zeros(n_samples, dtype=np.int64)
-    for i, qi in enumerate(picks):
-        words = workload.query_words(int(qi))
-        hits = content.match(words)
-        results[i] = hits.size
-        if hits.size:
-            peers[i] = np.unique(content.instance_peer[hits]).size
+    # Batched evaluation: the Zipf sample repeats few distinct queries,
+    # so each distinct query intersects its postings (and deduplicates
+    # its holder peers) exactly once.
+    matches = content.match_batch(
+        [workload.query_words(int(qi)) for qi in picks]
+    )
+    distinct_peers = np.fromiter(
+        (
+            np.unique(content.instance_peer[matches.distinct_instances(d)]).size
+            for d in range(matches.n_distinct)
+        ),
+        dtype=np.int64,
+        count=matches.n_distinct,
+    )
     return ResolvabilityReport(
-        result_counts=results, peer_counts=peers, rare_threshold=rare_threshold
+        result_counts=matches.counts,
+        peer_counts=distinct_peers[matches.distinct_index],
+        rare_threshold=rare_threshold,
     )

@@ -79,15 +79,14 @@ class TermIndex:
     def __init__(self, names: list[str]) -> None:
         self.terms = StringInterner()
         lengths = np.empty(len(names), dtype=np.int64)
-        flat: list[int] = []
-        intern = self.terms.intern
+        flat: list[str] = []
         for i, name in enumerate(names):
             toks = tokenize_name(name)
             lengths[i] = len(toks)
-            flat.extend(intern(t) for t in toks)
+            flat.extend(toks)
         self.name_offsets = np.zeros(len(names) + 1, dtype=np.int64)
         np.cumsum(lengths, out=self.name_offsets[1:])
-        self.term_ids = np.asarray(flat, dtype=np.int64)
+        self.term_ids = self.terms.intern_bulk(flat)
 
     @property
     def n_names(self) -> int:

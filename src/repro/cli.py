@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from collections.abc import Callable
 
 import numpy as np
 
@@ -31,6 +32,12 @@ def build_parser() -> argparse.ArgumentParser:
             "Reproduction of 'On the need for query-centric unstructured "
             "peer-to-peer overlays' (Acosta & Chandra, IPPS 2008)."
         ),
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="run the command under cProfile and print the hottest "
+        "functions by cumulative time (place before the subcommand)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -132,8 +139,7 @@ def _cmd_fig(args: argparse.Namespace) -> int:
     n = args.number
     if n in (1, 2, 3):
         from repro.analysis.replication import summarize_replication
-        from repro.core.experiment import build_trace_bundle
-        from repro.overlay.content import SharedContentIndex
+        from repro.core.experiment import build_content_index, build_trace_bundle
 
         bundle = build_trace_bundle()
         if n == 1:
@@ -160,7 +166,7 @@ def _cmd_fig(args: argparse.Namespace) -> int:
                 f"({format_percent(1 - len(sanitized) / len(names))} recovered)"
             )
         else:
-            content = SharedContentIndex(bundle.trace)
+            content = build_content_index(bundle.trace)
             counts = content.term_peer_counts()
             counts = counts[counts > 0]
             print(
@@ -275,12 +281,11 @@ def _cmd_synopsis(args: argparse.Namespace) -> int:
 
 def _cmd_resolvability(args: argparse.Namespace) -> int:
     from repro.analysis.resolvability import measure_resolvability
-    from repro.core.experiment import build_trace_bundle
+    from repro.core.experiment import build_content_index, build_trace_bundle
     from repro.core.reporting import format_percent, format_table
-    from repro.overlay.content import SharedContentIndex
 
     bundle = build_trace_bundle()
-    content = SharedContentIndex(bundle.trace)
+    content = build_content_index(bundle.trace)
     report = measure_resolvability(bundle.workload, content, n_samples=1_000)
     print(
         format_table(
@@ -409,10 +414,29 @@ _COMMANDS = {
 }
 
 
+def _run_profiled(
+    command: Callable[[argparse.Namespace], int], args: argparse.Namespace
+) -> int:
+    """Run ``command`` under cProfile; print a top-25 cumulative table."""
+    import cProfile
+    import io
+    import pstats
+
+    profiler = cProfile.Profile()
+    code = profiler.runcall(command, args)
+    stream = io.StringIO()
+    pstats.Stats(profiler, stream=stream).sort_stats("cumulative").print_stats(25)
+    print(stream.getvalue(), end="")
+    return int(code)
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    command = _COMMANDS[args.command]
+    if args.profile:
+        return _run_profiled(command, args)
+    return command(args)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -22,7 +22,7 @@ import numpy as np
 from repro.core.experiment import Fig8TopologyConfig, build_fig8_topology
 from repro.core.flood_sim import PlacementSpec, run_flood_success
 from repro.dht.chord import ChordRing
-from repro.overlay.flooding import flood_depths
+from repro.overlay.flooding import FloodDepthCache, flood_depths
 from repro.overlay.topology import Topology
 from repro.hybrid.cost_model import predicted_uniform_success
 from repro.runtime.parallel import pmap
@@ -119,9 +119,18 @@ def evaluate_hybrid(config: HybridEvalConfig | None = None) -> HybridEvalResult:
     sources = forwarding[rng.integers(0, forwarding.size, size=cfg.n_flood_probes)]
     source_list = [int(s) for s in sources]
     if cfg.n_workers == 1:
-        probes = [
-            _probe_fallback(topology, s, cfg.flood_ttl) for s in source_list
-        ]
+        # Serial path: probes share one BFS cache (repeated sources
+        # flood once), with results identical to _probe_fallback.
+        cache = FloodDepthCache(topology, max_entries=max(1, len(source_list)))
+        probes = []
+        for s in source_list:
+            entry = cache.entry(s, cfg.flood_ttl)
+            probes.append(
+                (
+                    float(entry.reached(cfg.flood_ttl) - 1),
+                    float(entry.messages(cfg.flood_ttl)),
+                )
+            )
     else:
         with SharedTopology(topology) as share:
             task = partial(_probe_task, spec=share.spec, ttl=cfg.flood_ttl)

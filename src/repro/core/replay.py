@@ -11,7 +11,7 @@ one call instead of a hand-rolled loop.
 
 from __future__ import annotations
 
-from typing import Callable, Protocol
+from typing import Protocol, Sequence
 
 import numpy as np
 
@@ -56,6 +56,19 @@ class FloodStrategy:
         out = self.network.query_flood(source, terms, self.ttl)
         return out.succeeded, float(out.messages)
 
+    def search_batch(
+        self,
+        sources: np.ndarray,
+        queries: Sequence[list[str]],
+        *,
+        n_workers: int = 1,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized replay: one batched pass over the whole sample."""
+        out = self.network.query_batch(
+            sources, queries, ttl=self.ttl, n_workers=n_workers
+        )
+        return out.success, out.messages.astype(np.float64)
+
 
 class WalkStrategy:
     """k-walker random walk."""
@@ -96,6 +109,19 @@ class ExpandingRingStrategy:
         )
         return out.succeeded, float(out.messages)
 
+    def search_batch(
+        self,
+        sources: np.ndarray,
+        queries: Sequence[list[str]],
+        *,
+        n_workers: int = 1,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized replay: every ring is a slice of one cached BFS."""
+        out = self.network.query_batch(
+            sources, queries, ttl_schedule=self.ttl_schedule, n_workers=n_workers
+        )
+        return out.success, out.messages.astype(np.float64)
+
 
 class DhtStrategy:
     """Structured keyword lookup."""
@@ -131,8 +157,16 @@ def replay(
     n_queries: int = 100,
     source_pool: np.ndarray | None = None,
     seed: int = 0,
+    n_workers: int = 1,
 ) -> list[StrategyStats]:
-    """Run every strategy over one identical query/source sample."""
+    """Run every strategy over one identical query/source sample.
+
+    Strategies exposing a ``search_batch`` method (floods, expanding
+    rings) are replayed through the batched query engine — identical
+    results, one deduplicated pass — with ``n_workers`` controlling
+    its shared-memory fan-out.  The rest fall back to the per-query
+    loop.
+    """
     if not strategies:
         raise ValueError("need at least one strategy")
     if n_queries < 1:
@@ -143,13 +177,17 @@ def replay(
     if source_pool is None:
         source_pool = np.arange(bundle.trace.n_peers)
     sources = source_pool[rng.integers(0, source_pool.size, size=n_queries)]
+    queries = [workload.query_words(int(qi)) for qi in picks]
 
     results: list[StrategyStats] = []
     for strategy in strategies:
-        ok = np.zeros(n_queries, dtype=bool)
-        msgs = np.zeros(n_queries, dtype=np.float64)
-        for i, (qi, src) in enumerate(zip(picks, sources)):
-            words = workload.query_words(int(qi))
-            ok[i], msgs[i] = strategy.search(int(src), words)
+        batch = getattr(strategy, "search_batch", None)
+        if batch is not None:
+            ok, msgs = batch(sources, queries, n_workers=n_workers)
+        else:
+            ok = np.zeros(n_queries, dtype=bool)
+            msgs = np.zeros(n_queries, dtype=np.float64)
+            for i, src in enumerate(sources):
+                ok[i], msgs[i] = strategy.search(int(src), queries[i])
         results.append(aggregate(strategy.name, ok, msgs))
     return results

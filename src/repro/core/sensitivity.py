@@ -20,6 +20,7 @@ import numpy as np
 from repro.analysis.popularity import top_k_set
 from repro.analysis.jaccard import jaccard
 from repro.analysis.resolvability import measure_resolvability
+from repro.core.experiment import build_content_index
 from repro.overlay.content import SharedContentIndex
 from repro.runtime.parallel import pmap
 from repro.tracegen.catalog import CatalogConfig, MusicCatalog
@@ -127,7 +128,7 @@ def run_mismatch_sensitivity(
     cfg = config or MismatchSensitivityConfig()
     catalog = MusicCatalog(cfg.catalog)
     trace = GnutellaShareTrace(catalog, cfg.trace)
-    content = SharedContentIndex(trace)
+    content = build_content_index(trace)
     term_counts = file_term_peer_counts(trace)
     popular_file = {
         catalog.lexicon.word(int(i)) for i in top_k_set(term_counts, cfg.top_k)

@@ -7,8 +7,13 @@ from repro.overlay.advertisement import (
     simulate_advertisement,
 )
 from repro.overlay.bandwidth import DEFAULT_WIRE, WireModel
+from repro.overlay.batch import BatchOutcome, BatchQueryEngine
 from repro.overlay.churn import ChurnConfig, ChurnTimeline, crawl_snapshot
-from repro.overlay.content import SharedContentIndex
+from repro.overlay.content import (
+    BatchMatches,
+    SharedContentIndex,
+    intersect_postings,
+)
 from repro.overlay.expanding_ring import ExpandingRingResult, expanding_ring_search
 from repro.overlay.gia import (
     GIA_CAPACITY_LEVELS,
@@ -16,13 +21,28 @@ from repro.overlay.gia import (
     gia_search,
     gia_success_rate,
     gia_topology,
+    one_hop_coverage,
     sample_capacities,
 )
-from repro.overlay.flooding import FloodResult, flood, flood_depths, reach_fractions
+from repro.overlay.flooding import (
+    DepthEntry,
+    FloodDepthCache,
+    FloodResult,
+    flood,
+    flood_depths,
+    flood_depths_batch,
+    reach_fractions,
+)
 from repro.overlay.messages import Guid, QueryHit, QueryMessage, guid_factory
 from repro.overlay.network import SearchOutcome, UnstructuredNetwork
 from repro.overlay.protocol import GnutellaSession, ProtocolConfig
-from repro.overlay.qrp import QrpFloodResult, QrpTables, qrp_flood
+from repro.overlay.qrp import (
+    QrpBatchOutcome,
+    QrpFloodResult,
+    QrpTables,
+    qrp_flood,
+    qrp_flood_batch,
+)
 from repro.overlay.random_walk import WalkResult, random_walk
 from repro.overlay.result_cache import (
     CacheConfig,
@@ -51,10 +71,14 @@ __all__ = [
     "AdStore",
     "AdvertisementConfig",
     "simulate_advertisement",
+    "BatchMatches",
+    "BatchOutcome",
+    "BatchQueryEngine",
     "ChurnConfig",
     "ChurnTimeline",
     "crawl_snapshot",
     "SharedContentIndex",
+    "intersect_postings",
     "ExpandingRingResult",
     "expanding_ring_search",
     "GIA_CAPACITY_LEVELS",
@@ -62,10 +86,13 @@ __all__ = [
     "gia_search",
     "gia_success_rate",
     "gia_topology",
+    "one_hop_coverage",
     "sample_capacities",
+    "QrpBatchOutcome",
     "QrpFloodResult",
     "QrpTables",
     "qrp_flood",
+    "qrp_flood_batch",
     "GnutellaSession",
     "ProtocolConfig",
     "CacheConfig",
@@ -82,9 +109,12 @@ __all__ = [
     "POLICIES",
     "allocate_replicas",
     "expected_search_size",
+    "DepthEntry",
+    "FloodDepthCache",
     "FloodResult",
     "flood",
     "flood_depths",
+    "flood_depths_batch",
     "reach_fractions",
     "Guid",
     "QueryHit",

@@ -1,0 +1,347 @@
+"""Batched query engine: workload-scale evaluation of overlay search.
+
+The scalar path (:meth:`UnstructuredNetwork.query_flood` per query)
+re-floods and re-intersects from scratch on every call, even though a
+Zipf workload replays the same few distinct queries from a small
+source pool.  :class:`BatchQueryEngine` evaluates a whole workload at
+once against two shared caches:
+
+* a :class:`~repro.overlay.flooding.FloodDepthCache` — every distinct
+  source BFS-es once to the deepest requested TTL, and every ring of
+  an expanding-ring schedule is a slice of that one depth map with the
+  per-ring message accounting preserved;
+* the content index's memoized match cache — every distinct query key
+  intersects its posting lists once.
+
+Results come back columnar as a :class:`BatchOutcome` (per-query
+success, result counts, message cost, peers probed) instead of a list
+of :class:`~repro.overlay.network.SearchOutcome` objects, and are
+bitwise-identical to the per-query path at every worker count: each
+query's evaluation is a pure function of ``(source, query key)``, so
+contiguous chunks fanned out over ``pmap`` workers (topology and
+posting arrays attached via :mod:`repro.runtime.shm`) concatenate back
+to exactly the serial answer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import partial
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.overlay.content import QueryKey, SharedContentIndex, intersect_postings
+from repro.overlay.flooding import FloodDepthCache
+from repro.overlay.topology import Topology
+
+__all__ = ["BatchOutcome", "BatchQueryEngine"]
+
+_EMPTY = np.empty(0, dtype=np.int64)
+
+
+@dataclass(frozen=True)
+class BatchOutcome:
+    """Columnar outcomes of one query batch (row ``i`` = query ``i``).
+
+    Each column is what the corresponding scalar-path object reports:
+    ``success[i]`` / ``n_results[i]`` / ``messages[i]`` /
+    ``peers_probed[i]`` match ``SearchOutcome`` (or, for multi-ring
+    schedules, ``ExpandingRingResult`` with the final ring's result
+    count and the cumulative message cost).
+    """
+
+    success: np.ndarray
+    n_results: np.ndarray
+    messages: np.ndarray
+    peers_probed: np.ndarray
+
+    @property
+    def n_queries(self) -> int:
+        """Number of queries in the batch."""
+        return self.success.size
+
+    @property
+    def success_rate(self) -> float:
+        """Fraction of queries returning at least one result."""
+        return float(np.count_nonzero(self.success)) / max(1, self.n_queries)
+
+    @property
+    def total_messages(self) -> int:
+        """Total message cost of the batch."""
+        return int(self.messages.sum())
+
+    @staticmethod
+    def concatenate(parts: Sequence["BatchOutcome"]) -> "BatchOutcome":
+        """Stitch per-chunk outcomes back into one batch, in order."""
+        if not parts:
+            return BatchOutcome(
+                success=np.empty(0, dtype=bool),
+                n_results=_EMPTY,
+                messages=_EMPTY,
+                peers_probed=_EMPTY,
+            )
+        return BatchOutcome(
+            success=np.concatenate([p.success for p in parts]),
+            n_results=np.concatenate([p.n_results for p in parts]),
+            messages=np.concatenate([p.messages for p in parts]),
+            peers_probed=np.concatenate([p.peers_probed for p in parts]),
+        )
+
+
+def _validate_schedule(ttl_schedule: tuple[int, ...], min_results: int) -> None:
+    """Shared schedule validation, mirroring ``expanding_ring_search``."""
+    if min_results < 1:
+        raise ValueError("min_results must be positive")
+    if not ttl_schedule or any(t < 0 for t in ttl_schedule):
+        raise ValueError("ttl_schedule must be non-empty and non-negative")
+    if list(ttl_schedule) != sorted(ttl_schedule):
+        raise ValueError("ttl_schedule must be non-decreasing")
+
+
+def _evaluate_keys(
+    cache: FloodDepthCache,
+    match_key: Callable[[QueryKey], np.ndarray],
+    instance_peer: np.ndarray,
+    sources: np.ndarray,
+    keys: Sequence[QueryKey | None],
+    *,
+    ttl_schedule: tuple[int, ...],
+    min_results: int,
+) -> BatchOutcome:
+    """Evaluate canonical ``(source, key)`` pairs against shared caches.
+
+    The coordinator and shm workers both run this core — only the
+    cache/match providers differ — so serial and parallel evaluation
+    are the same code path over the same pure per-query function.
+    """
+    n = sources.size
+    success = np.zeros(n, dtype=bool)
+    n_results = np.zeros(n, dtype=np.int64)
+    messages = np.zeros(n, dtype=np.int64)
+    peers_probed = np.zeros(n, dtype=np.int64)
+    max_ttl = int(ttl_schedule[-1])
+    for i in range(n):
+        key = keys[i]
+        hits = _EMPTY if key is None else match_key(key)
+        entry = cache.entry(int(sources[i]), max_ttl)
+        # Depth of each hit's peer; -1 (unreached) never passes a ring.
+        hit_depth = entry.depth[instance_peer[hits]] if hits.size else _EMPTY
+        total = 0
+        count = 0
+        ttl = ttl_schedule[0]
+        for ttl in ttl_schedule:
+            total += entry.messages(ttl)
+            if hit_depth.size:
+                count = int(
+                    np.count_nonzero((hit_depth >= 0) & (hit_depth <= ttl))
+                )
+            if count >= min_results:
+                break
+        success[i] = count > 0
+        n_results[i] = count
+        messages[i] = total
+        peers_probed[i] = entry.reached(int(ttl))
+    return BatchOutcome(
+        success=success,
+        n_results=n_results,
+        messages=messages,
+        peers_probed=peers_probed,
+    )
+
+
+#: Worker-side flood caches, one per attached topology spec, so every
+#: chunk a pool worker runs reuses the BFS results of earlier chunks.
+_WORKER_CACHES: dict[object, FloodDepthCache] = {}
+
+
+def _chunk_task(
+    chunk: tuple[np.ndarray, list[QueryKey | None]],
+    rng: np.random.Generator,
+    *,
+    topo_spec: object,
+    post_spec: object,
+    ttl_schedule: tuple[int, ...],
+    min_results: int,
+) -> BatchOutcome:
+    """Worker task: evaluate one contiguous slice of the batch.
+
+    Attaches the shared topology and posting arrays, then runs the
+    same pure core as the serial path with a worker-local flood cache
+    and match memo.  ``rng`` is unused — flood evaluation is
+    deterministic — but is part of the ``pmap`` task contract.
+    """
+    # Deferred import: repro.runtime sits above the overlay layer.
+    from repro.runtime.shm import attach_postings, attach_topology
+
+    sources, keys = chunk
+    topology = attach_topology(topo_spec)  # type: ignore[arg-type]
+    postings = attach_postings(post_spec)  # type: ignore[arg-type]
+    cache = _WORKER_CACHES.get(topo_spec)
+    if cache is None:
+        cache = FloodDepthCache(topology)
+        _WORKER_CACHES[topo_spec] = cache
+    memo: dict[QueryKey, np.ndarray] = {}
+
+    def match_key(key: QueryKey) -> np.ndarray:
+        hit = memo.get(key)
+        if hit is None:
+            hit = intersect_postings(
+                postings.posting_offsets, postings.posting_instances, key
+            )
+            memo[key] = hit
+        return hit
+
+    return _evaluate_keys(
+        cache,
+        match_key,
+        postings.instance_peer,
+        sources,
+        keys,
+        ttl_schedule=ttl_schedule,
+        min_results=min_results,
+    )
+
+
+class BatchQueryEngine:
+    """Workload-scale evaluator over one topology + content index.
+
+    Holds a persistent :class:`FloodDepthCache`, so successive batches
+    (strategy comparisons, sensitivity sweeps) keep reusing BFS
+    results.  One engine per ``(topology, content)`` pair; see
+    :meth:`UnstructuredNetwork.batch_engine` for the cached accessor.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        content: SharedContentIndex,
+        *,
+        flood_cache_entries: int = 256,
+    ) -> None:
+        if topology.n_nodes != content.n_peers:
+            raise ValueError(
+                f"topology has {topology.n_nodes} nodes but the trace has "
+                f"{content.n_peers} peers"
+            )
+        self.topology = topology
+        self.content = content
+        self.flood_cache = FloodDepthCache(
+            topology, max_entries=flood_cache_entries
+        )
+
+    def evaluate(
+        self,
+        sources: np.ndarray,
+        queries: Sequence[Sequence[str]],
+        *,
+        ttl_schedule: tuple[int, ...],
+        min_results: int = 1,
+        n_workers: int = 1,
+    ) -> BatchOutcome:
+        """Evaluate ``queries[i]`` flooded from ``sources[i]``.
+
+        A single-TTL schedule reproduces :meth:`query_flood` exactly;
+        a multi-TTL schedule reproduces ``expanding_ring_search``
+        (cumulative messages, final-ring results).  ``n_workers > 1``
+        fans contiguous chunks over a process pool with the topology
+        and posting arrays in shared memory; results are
+        bitwise-identical at every worker count.
+        """
+        sources = np.atleast_1d(np.asarray(sources, dtype=np.int64))
+        if sources.size != len(queries):
+            raise ValueError(
+                f"{sources.size} sources for {len(queries)} queries"
+            )
+        _validate_schedule(ttl_schedule, min_results)
+        # Canonicalize on the coordinator: term strings never cross
+        # the process boundary (workers see term-id keys only).
+        keys = [self.content.query_key(q) for q in queries]
+        return self.evaluate_keys(
+            sources,
+            keys,
+            ttl_schedule=ttl_schedule,
+            min_results=min_results,
+            n_workers=n_workers,
+        )
+
+    def evaluate_keys(
+        self,
+        sources: np.ndarray,
+        keys: Sequence[QueryKey | None],
+        *,
+        ttl_schedule: tuple[int, ...],
+        min_results: int = 1,
+        n_workers: int = 1,
+    ) -> BatchOutcome:
+        """:meth:`evaluate` over pre-canonicalized query keys."""
+        sources = np.atleast_1d(np.asarray(sources, dtype=np.int64))
+        _validate_schedule(ttl_schedule, min_results)
+        # Deferred import: repro.runtime sits above the overlay layer.
+        from repro.runtime.parallel import resolve_workers
+
+        workers = min(resolve_workers(n_workers), sources.size)
+        if workers <= 1 or sources.size <= 1:
+            return _evaluate_keys(
+                self.flood_cache,
+                self.content.match_key,
+                self.content.instance_peer,
+                sources,
+                keys,
+                ttl_schedule=ttl_schedule,
+                min_results=min_results,
+            )
+        from repro.runtime.parallel import pmap
+        from repro.runtime.shm import SharedPostings, SharedTopology
+
+        bounds = np.linspace(0, sources.size, workers + 1).astype(np.int64)
+        chunks = [
+            (sources[lo:hi], list(keys[lo:hi]))
+            for lo, hi in zip(bounds[:-1], bounds[1:])
+            if hi > lo
+        ]
+        with SharedTopology(self.topology) as topo, SharedPostings(
+            self.content
+        ) as post:
+            task = partial(
+                _chunk_task,
+                topo_spec=topo.spec,
+                post_spec=post.spec,
+                ttl_schedule=ttl_schedule,
+                min_results=min_results,
+            )
+            parts = pmap(
+                task, chunks, seed=0, key="query-batch", n_workers=workers
+            )
+        return BatchOutcome.concatenate(parts)
+
+    def evaluate_flood(
+        self,
+        sources: np.ndarray,
+        queries: Sequence[Sequence[str]],
+        *,
+        ttl: int,
+        n_workers: int = 1,
+    ) -> BatchOutcome:
+        """Batch equivalent of per-query :meth:`query_flood` calls."""
+        return self.evaluate(
+            sources, queries, ttl_schedule=(int(ttl),), n_workers=n_workers
+        )
+
+    def evaluate_expanding_ring(
+        self,
+        sources: np.ndarray,
+        queries: Sequence[Sequence[str]],
+        *,
+        ttl_schedule: tuple[int, ...] = (1, 2, 3, 5),
+        min_results: int = 1,
+        n_workers: int = 1,
+    ) -> BatchOutcome:
+        """Batch equivalent of per-query ``expanding_ring_search``."""
+        return self.evaluate(
+            sources,
+            queries,
+            ttl_schedule=ttl_schedule,
+            min_results=min_results,
+            n_workers=n_workers,
+        )

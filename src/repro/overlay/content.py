@@ -6,16 +6,110 @@ to the overlay: every shared instance is tokenized once (via
 term ids to the instances whose names contain them.  Query matching is
 Gnutella semantics: a file matches when its name contains *all* query
 terms; a peer responds with its matching files.
+
+Two evaluation paths share one core:
+
+* :meth:`SharedContentIndex.match` — one query at a time, memoized
+  through a bounded LRU keyed by the query's term-id tuple, so the
+  Zipf-repeated popular queries that dominate real workloads
+  re-intersect their posting lists only once per process;
+* :meth:`SharedContentIndex.match_batch` — a whole workload at once,
+  deduplicated by term-id tuple and returned as one
+  :class:`BatchMatches` CSR structure instead of N Python-level
+  ``np.intersect1d`` passes.
 """
 
 from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
 from repro.analysis.tokenize import TermIndex
 from repro.tracegen.gnutella_trace import GnutellaShareTrace
 
-__all__ = ["SharedContentIndex"]
+__all__ = [
+    "BatchMatches",
+    "QueryKey",
+    "SharedContentIndex",
+    "intersect_postings",
+]
+
+#: Canonical query identity: sorted distinct term ids.  ``None`` marks
+#: a query containing an unknown term (it can match no file).
+QueryKey = tuple[int, ...]
+
+#: Bound on the per-index memoized match cache (distinct queries).
+_MATCH_CACHE_MAX = 4096
+
+
+def intersect_postings(
+    posting_offsets: np.ndarray,
+    posting_instances: np.ndarray,
+    key: tuple[int, ...],
+) -> np.ndarray:
+    """AND-intersect the posting lists of a canonical query key.
+
+    Pure function of the CSR posting arrays, so shared-memory workers
+    can evaluate queries against attached posting segments without a
+    :class:`SharedContentIndex` instance.  ``key`` must hold distinct,
+    in-range term ids; the shortest posting list is intersected first.
+    """
+    postings = sorted(
+        (
+            posting_instances[posting_offsets[t] : posting_offsets[t + 1]]
+            for t in key
+        ),
+        key=len,
+    )
+    result = postings[0]
+    for p in postings[1:]:
+        if result.size == 0:
+            break
+        result = np.intersect1d(result, p, assume_unique=True)
+    return result
+
+
+@dataclass(frozen=True)
+class BatchMatches:
+    """Oracle match sets of a query batch, deduplicated, in CSR form.
+
+    ``distinct_index[i]`` names the row of the distinct-query CSR
+    (``offsets``/``instances``) holding query ``i``'s matches, so
+    repeated queries share one stored match set.  Rows are sorted
+    instance-id arrays, bitwise equal to what
+    :meth:`SharedContentIndex.match` returns for the same query.
+    """
+
+    distinct_index: np.ndarray
+    offsets: np.ndarray
+    instances: np.ndarray
+
+    @property
+    def n_queries(self) -> int:
+        """Number of queries in the batch."""
+        return self.distinct_index.size
+
+    @property
+    def n_distinct(self) -> int:
+        """Number of distinct queries actually evaluated."""
+        return self.offsets.size - 1
+
+    @property
+    def counts(self) -> np.ndarray:
+        """Matching-instance count per query (oracle result counts)."""
+        return np.diff(self.offsets)[self.distinct_index]
+
+    def query_instances(self, i: int) -> np.ndarray:
+        """Sorted matching instance ids of query ``i``."""
+        d = int(self.distinct_index[i])
+        return self.instances[self.offsets[d] : self.offsets[d + 1]]
+
+    def distinct_instances(self, d: int) -> np.ndarray:
+        """Sorted matching instance ids of distinct row ``d``."""
+        return self.instances[self.offsets[d] : self.offsets[d + 1]]
 
 
 class SharedContentIndex:
@@ -45,6 +139,15 @@ class SharedContentIndex:
         counts = np.bincount(terms, minlength=self.term_index.n_terms)
         self._posting_offsets = np.zeros(self.term_index.n_terms + 1, dtype=np.int64)
         np.cumsum(counts, out=self._posting_offsets[1:])
+        #: bounded LRU over distinct query keys -> match arrays.
+        self._match_cache: OrderedDict[tuple[int, ...], np.ndarray] = OrderedDict()
+
+    def __getstate__(self) -> dict[str, object]:
+        # The memo cache is pure derived state; keep pickles (e.g. the
+        # on-disk artifact cache) lean and deterministic.
+        state = dict(self.__dict__)
+        state["_match_cache"] = OrderedDict()
+        return state
 
     @property
     def n_instances(self) -> int:
@@ -70,33 +173,95 @@ class SharedContentIndex:
             minlength=self.term_index.n_terms,
         )
 
-    def match(self, terms: list[str]) -> np.ndarray:
+    def query_key(self, terms: Sequence[str]) -> tuple[int, ...] | None:
+        """Canonical identity of a query: sorted distinct term ids.
+
+        ``None`` means the query contains a term absent from every
+        shared name and therefore matches nothing.  Raises on an empty
+        query, mirroring :meth:`match`.
+        """
+        if not terms:
+            raise ValueError("a query needs at least one term")
+        ids = set()
+        for t in terms:
+            tid = self.term_index.terms.get(t)
+            if tid is None:
+                return None
+            ids.add(tid)
+        return tuple(sorted(ids))
+
+    def match_key(self, key: tuple[int, ...]) -> np.ndarray:
+        """Matching instances for a canonical key, memoized.
+
+        The cache is a bounded LRU over distinct keys; under a Zipf
+        workload the popular repeated queries stay resident and cost
+        one dict hit instead of a posting-list intersection.  Returned
+        arrays are shared — treat them as read-only.
+        """
+        cached = self._match_cache.get(key)
+        if cached is not None:
+            self._match_cache.move_to_end(key)
+            return cached
+        result = intersect_postings(
+            self._posting_offsets, self._posting_instances, key
+        )
+        self._match_cache[key] = result
+        if len(self._match_cache) > _MATCH_CACHE_MAX:
+            self._match_cache.popitem(last=False)
+        return result
+
+    def match(self, terms: Sequence[str]) -> np.ndarray:
         """Instances whose names contain all ``terms`` (AND semantics).
 
         Returns a sorted instance-id array; empty if any term is
         unknown (an unknown term can match no file).
         """
-        if not terms:
-            raise ValueError("a query needs at least one term")
-        ids = []
-        for t in terms:
-            tid = self.term_id(t)
-            if tid is None:
-                return np.empty(0, dtype=np.int64)
-            ids.append(tid)
-        postings = sorted((self.posting(t) for t in set(ids)), key=len)
-        result = postings[0]
-        for p in postings[1:]:
-            if result.size == 0:
-                break
-            result = np.intersect1d(result, p, assume_unique=True)
-        return result
+        key = self.query_key(terms)
+        if key is None:
+            return np.empty(0, dtype=np.int64)
+        return self.match_key(key)
 
-    def matching_peers(self, terms: list[str]) -> np.ndarray:
+    def match_batch(self, queries: Sequence[Sequence[str]]) -> BatchMatches:
+        """Evaluate a workload of queries in one deduplicated pass.
+
+        Queries are deduplicated by term-id tuple, each distinct query
+        is intersected once (through the memoized cache), and the
+        per-query match sets come back as one :class:`BatchMatches`
+        CSR structure.  Row ``i`` equals ``match(queries[i])`` bitwise;
+        a query with an unknown term gets an empty row; an empty query
+        raises, as :meth:`match` does.
+        """
+        distinct_index = np.zeros(len(queries), dtype=np.int64)
+        slot_of: dict[tuple[int, ...] | None, int] = {}
+        rows: list[np.ndarray] = []
+        for i, q in enumerate(queries):
+            key = self.query_key(q)
+            slot = slot_of.get(key)
+            if slot is None:
+                slot = len(rows)
+                slot_of[key] = slot
+                if key is None:
+                    rows.append(np.empty(0, dtype=np.int64))
+                else:
+                    rows.append(self.match_key(key))
+            distinct_index[i] = slot
+        lengths = np.fromiter(
+            (r.size for r in rows), dtype=np.int64, count=len(rows)
+        )
+        offsets = np.zeros(len(rows) + 1, dtype=np.int64)
+        np.cumsum(lengths, out=offsets[1:])
+        instances = (
+            np.concatenate(rows) if rows else np.empty(0, dtype=np.int64)
+        )
+        return BatchMatches(
+            distinct_index=distinct_index, offsets=offsets, instances=instances
+        )
+
+    def matching_peers(self, terms: Sequence[str]) -> np.ndarray:
         """Distinct peers holding at least one file matching ``terms``."""
         return np.unique(self.instance_peer[self.match(terms)])
 
-    def peer_results(self, terms: list[str], peer_mask: np.ndarray) -> np.ndarray:
+    def peer_results(self, terms: Sequence[str], peer_mask: np.ndarray) -> np.ndarray:
         """Matching instances restricted to peers where ``peer_mask`` is True."""
         hits = self.match(terms)
         return hits[peer_mask[self.instance_peer[hits]]]

@@ -34,6 +34,7 @@ __all__ = [
     "gia_topology",
     "GiaSearchResult",
     "gia_search",
+    "one_hop_coverage",
 ]
 
 #: The Gia paper's capacity distribution: (multiplier, probability).
@@ -85,6 +86,22 @@ def gia_topology(
     return Topology(offsets, neighbors, np.ones(n_nodes, dtype=bool))
 
 
+def one_hop_coverage(topology: Topology, holder: np.ndarray) -> np.ndarray:
+    """Bool per node: the node or any of its neighbors holds the object.
+
+    The one-hop-replication answer set, vectorized: one gather over
+    the CSR neighbor array plus a segmented any (via cumulative sums)
+    replaces a per-step ``holder[neighbors_of(v)].any()`` scan.  A Gia
+    walk answers at ``v`` exactly when ``coverage[v]``.
+    """
+    if holder.shape != (topology.n_nodes,):
+        raise ValueError("holder mask must cover every node")
+    has = np.concatenate([[0], np.cumsum(holder[topology.neighbors])])
+    offsets = topology.offsets
+    neighbor_has = (has[offsets[1:]] - has[offsets[:-1]]) > 0
+    return holder | neighbor_has
+
+
 @dataclass(frozen=True)
 class GiaSearchResult:
     """Outcome of one Gia biased walk with one-hop replication."""
@@ -103,12 +120,16 @@ def gia_search(
     *,
     max_steps: int = 128,
     seed: int | np.random.Generator = 0,
+    coverage: np.ndarray | None = None,
 ) -> GiaSearchResult:
     """Capacity-biased walk; one-hop replication answers from neighbors.
 
     ``holder`` is a bool mask of nodes holding the object.  A step at
     node ``v`` succeeds if ``v`` or any neighbor of ``v`` holds it
-    (one-hop replication indexes neighbor content).
+    (one-hop replication indexes neighbor content).  Callers running
+    many walks over one ``holder`` mask should precompute
+    ``coverage=one_hop_coverage(topology, holder)`` once — the answer
+    checks never touch the RNG, so the walk itself is unchanged.
     """
     if holder.shape != (topology.n_nodes,):
         raise ValueError("holder mask must cover every node")
@@ -116,10 +137,17 @@ def gia_search(
         raise ValueError("max_steps must be non-negative")
     rng = seed if isinstance(seed, np.random.Generator) else make_rng(seed)
 
-    def answered(v: int) -> bool:
-        if holder[v]:
-            return True
-        return bool(holder[topology.neighbors_of(v)].any())
+    if coverage is not None:
+
+        def answered(v: int) -> bool:
+            return bool(coverage[v])
+
+    else:
+
+        def answered(v: int) -> bool:
+            if holder[v]:
+                return True
+            return bool(holder[topology.neighbors_of(v)].any())
 
     visited = {source}
     current = source
@@ -162,7 +190,13 @@ def gia_success_rate(
         holder[rng.choice(n, size=n_replicas, replace=False)] = True
         source = int(rng.integers(0, n))
         result = gia_search(
-            topology, capacities, holder, source, max_steps=max_steps, seed=rng
+            topology,
+            capacities,
+            holder,
+            source,
+            max_steps=max_steps,
+            seed=rng,
+            coverage=one_hop_coverage(topology, holder),
         )
         wins += result.succeeded
     return wins / trials

@@ -10,9 +10,12 @@ message accounting.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
+from typing import Sequence
 
 import numpy as np
 
+from repro.overlay.batch import BatchOutcome, BatchQueryEngine
 from repro.overlay.content import SharedContentIndex
 from repro.overlay.flooding import flood
 from repro.overlay.messages import QueryHit, QueryMessage
@@ -24,12 +27,17 @@ __all__ = ["SearchOutcome", "UnstructuredNetwork"]
 
 @dataclass(frozen=True)
 class SearchOutcome:
-    """Result of one unstructured search."""
+    """Result of one unstructured search.
+
+    ``hit_peers[j]`` is the peer holding ``hit_instances[j]``; the
+    deduplicated responder set is derived lazily, since most callers
+    only read ``n_results``/``messages``.
+    """
 
     source: int
     terms: tuple[str, ...]
     hit_instances: np.ndarray
-    responding_peers: np.ndarray
+    hit_peers: np.ndarray
     peers_probed: int
     messages: int
 
@@ -43,6 +51,11 @@ class SearchOutcome:
         """Did the search return at least one result?"""
         return self.n_results > 0
 
+    @cached_property
+    def responding_peers(self) -> np.ndarray:
+        """Distinct peers that returned at least one result."""
+        return np.unique(self.hit_peers)
+
 
 class UnstructuredNetwork:
     """A Gnutella-like network over a share trace."""
@@ -55,6 +68,7 @@ class UnstructuredNetwork:
             )
         self.topology = topology
         self.content = content
+        self._batch_engine: BatchQueryEngine | None = None
 
     @property
     def n_peers(self) -> int:
@@ -74,7 +88,7 @@ class UnstructuredNetwork:
             source=source,
             terms=tuple(terms),
             hit_instances=hits,
-            responding_peers=np.unique(self.content.instance_peer[hits]),
+            hit_peers=self.content.instance_peer[hits],
             peers_probed=n_probed,
             messages=messages,
         )
@@ -101,6 +115,45 @@ class UnstructuredNetwork:
         probed = np.zeros(self.n_peers, dtype=bool)
         probed[result.visited] = True
         return self._outcome(source, terms, probed, result.n_visited, result.messages)
+
+    def batch_engine(self) -> BatchQueryEngine:
+        """The network's persistent batched query engine.
+
+        Lazily constructed and then reused, so the engine's flood
+        cache keeps accumulating BFS results across batches.
+        """
+        if self._batch_engine is None:
+            self._batch_engine = BatchQueryEngine(self.topology, self.content)
+        return self._batch_engine
+
+    def query_batch(
+        self,
+        sources: np.ndarray,
+        queries: Sequence[Sequence[str]],
+        *,
+        ttl: int = 3,
+        ttl_schedule: tuple[int, ...] | None = None,
+        min_results: int = 1,
+        n_workers: int = 1,
+    ) -> BatchOutcome:
+        """Evaluate a workload of flood queries in one batched pass.
+
+        ``queries[i]`` floods from ``sources[i]``.  With the default
+        single-TTL schedule each row reproduces
+        ``query_flood(sources[i], queries[i], ttl)`` bitwise; passing
+        ``ttl_schedule`` reproduces ``expanding_ring_search`` instead
+        (cumulative messages, final-ring results).  ``n_workers > 1``
+        chunks the batch over shared-memory workers with identical
+        results at every worker count.
+        """
+        schedule = ttl_schedule if ttl_schedule is not None else (int(ttl),)
+        return self.batch_engine().evaluate(
+            sources,
+            queries,
+            ttl_schedule=schedule,
+            min_results=min_results,
+            n_workers=n_workers,
+        )
 
     def answer(self, message: QueryMessage, peer: int) -> QueryHit:
         """Protocol-level view: one peer's QueryHit for a query message."""

@@ -25,10 +25,16 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.overlay.content import SharedContentIndex
-from repro.overlay.flooding import flood_depths
+from repro.overlay.flooding import FloodDepthCache, flood_depths
 from repro.overlay.topology import Topology
 
-__all__ = ["QrpTables", "QrpFloodResult", "qrp_flood"]
+__all__ = [
+    "QrpTables",
+    "QrpFloodResult",
+    "QrpBatchOutcome",
+    "qrp_flood",
+    "qrp_flood_batch",
+]
 
 _MASK64 = np.uint64(0xFFFFFFFFFFFFFFFF)
 
@@ -157,5 +163,96 @@ def qrp_flood(
         delivered=np.flatnonzero(delivered),
         messages=messages,
         messages_without_qrp=plain_messages,
+        false_positive_deliveries=false_pos,
+    )
+
+
+@dataclass(frozen=True)
+class QrpBatchOutcome:
+    """Columnar QRP flood outcomes of a query batch (row ``i`` = query ``i``)."""
+
+    messages: np.ndarray
+    messages_without_qrp: np.ndarray
+    n_delivered: np.ndarray
+    false_positive_deliveries: np.ndarray
+
+    @property
+    def n_queries(self) -> int:
+        """Number of queries in the batch."""
+        return self.messages.size
+
+    @property
+    def savings(self) -> np.ndarray:
+        """Per-query fraction of messages QRP pruned."""
+        out = np.zeros(self.messages.size, dtype=np.float64)
+        nz = self.messages_without_qrp > 0
+        out[nz] = 1.0 - self.messages[nz] / self.messages_without_qrp[nz]
+        return out
+
+
+def qrp_flood_batch(
+    topology: Topology,
+    tables: QrpTables,
+    sources: np.ndarray,
+    queries: list[list[str]],
+    ttl: int,
+    *,
+    cache: FloodDepthCache | None = None,
+) -> QrpBatchOutcome:
+    """Batch of QRP-pruned floods: ``queries[i]`` from ``sources[i]``.
+
+    Row ``i`` reproduces ``qrp_flood(topology, tables, sources[i],
+    queries[i], ttl)`` exactly, but repeated sources BFS once through
+    the shared :class:`FloodDepthCache`, and repeated queries memoize
+    their QRT-match and holder-peer masks.  Queries are keyed by their
+    literal term strings (not canonical term ids) because unknown
+    terms hash into the QRT by string content.
+    """
+    sources = np.atleast_1d(np.asarray(sources, dtype=np.int64))
+    if sources.size != len(queries):
+        raise ValueError(f"{sources.size} sources for {len(queries)} queries")
+    if cache is None:
+        cache = FloodDepthCache(
+            topology, max_entries=max(1, np.unique(sources).size)
+        )
+    n = sources.size
+    n_nodes = topology.n_nodes
+    forwards = topology.forwards
+    content = tables.content
+    masks: dict[tuple[str, ...], tuple[np.ndarray, np.ndarray]] = {}
+    messages = np.zeros(n, dtype=np.int64)
+    plain = np.zeros(n, dtype=np.int64)
+    n_delivered = np.zeros(n, dtype=np.int64)
+    false_pos = np.zeros(n, dtype=np.int64)
+    for i in range(n):
+        terms = queries[i]
+        key = tuple(terms)
+        cached = masks.get(key)
+        if cached is None:
+            qrt_match = tables.peers_matching(terms)
+            hits = content.match(terms)
+            hit_peers = np.zeros(n_nodes, dtype=bool)
+            if hits.size:
+                hit_peers[content.instance_peer[hits]] = True
+            cached = (qrt_match, hit_peers)
+            masks[key] = cached
+        qrt_match, hit_peers = cached
+        source = int(sources[i])
+        entry = cache.entry(source, ttl)
+        reached = (entry.depth >= 0) & (entry.depth <= ttl)
+        leaf_reached = reached & ~forwards
+        leaf_reached[source] = False
+        delivered_leaves = leaf_reached & qrt_match
+        pruned = int(leaf_reached.sum()) - int(delivered_leaves.sum())
+        plain[i] = entry.messages(ttl)
+        messages[i] = plain[i] - pruned
+        false_pos[i] = int((delivered_leaves & ~hit_peers).sum())
+        delivered = reached & (forwards | delivered_leaves)
+        delivered[source] = True
+        n_delivered[i] = int(delivered.sum())
+    return QrpBatchOutcome(
+        messages=messages,
+        messages_without_qrp=plain,
+        n_delivered=n_delivered,
         false_positive_deliveries=false_pos,
     )

@@ -91,6 +91,9 @@ class CacheReport:
     hit_rate_transient: float
     stale_miss_fraction: float
     n_queries: int
+    #: fraction of the replay's total flood cost the cache avoided
+    #: (0.0 when no per-query cost column was supplied).
+    messages_saved_fraction: float = 0.0
 
 
 def simulate_cache(
@@ -98,16 +101,29 @@ def simulate_cache(
     config: CacheConfig | None = None,
     *,
     max_queries: int | None = None,
+    flood_messages: np.ndarray | None = None,
 ) -> CacheReport:
     """Replay the workload through one shared cache, in time order.
 
     A single cache models one ultrapeer seeing the whole stream — the
     best case for caching; per-ultrapeer sharding only lowers hit
     rates further, so the measured ceiling is the honest headline.
+
+    ``flood_messages`` optionally prices each replayed query (e.g. the
+    ``messages`` column of a
+    :class:`~repro.overlay.batch.BatchOutcome` replay of the same
+    prefix): a fresh hit avoids that query's flood, and the report's
+    ``messages_saved_fraction`` aggregates the avoided cost.
     """
     cache = QueryResultCache(config)
     n = workload.n_queries if max_queries is None else min(max_queries, workload.n_queries)
+    if flood_messages is not None and flood_messages.shape[0] < n:
+        raise ValueError(
+            f"flood_messages covers {flood_messages.shape[0]} queries, need {n}"
+        )
     hits_p = misses_p = hits_t = misses_t = 0
+    saved = 0
+    payable = 0
     for i in range(n):
         terms = workload.query_terms(i)
         hit = cache.lookup(terms, float(workload.timestamps[i]))
@@ -117,6 +133,11 @@ def simulate_cache(
         else:
             hits_p += hit
             misses_p += not hit
+        if flood_messages is not None:
+            cost = int(flood_messages[i])
+            payable += cost
+            if hit:
+                saved += cost
     total = cache.hits + cache.misses
     return CacheReport(
         hit_rate=cache.hit_rate,
@@ -124,4 +145,5 @@ def simulate_cache(
         hit_rate_transient=hits_t / max(1, hits_t + misses_t),
         stale_miss_fraction=cache.stale_misses / max(1, total),
         n_queries=n,
+        messages_saved_fraction=saved / payable if payable else 0.0,
     )

@@ -23,12 +23,17 @@ from multiprocessing import resource_tracker, shared_memory
 
 import numpy as np
 
+from repro.overlay.content import SharedContentIndex
 from repro.overlay.topology import Topology
 
 __all__ = [
+    "PostingArrays",
     "SharedArraySpec",
+    "SharedPostings",
+    "SharedPostingsSpec",
     "SharedTopology",
     "SharedTopologySpec",
+    "attach_postings",
     "attach_topology",
 ]
 
@@ -51,11 +56,36 @@ class SharedTopologySpec:
     forwards: SharedArraySpec
 
 
-#: Per-process attachment cache: one mapping per published topology.
-_ATTACHED: dict[SharedTopologySpec, Topology] = {}
+@dataclass(frozen=True)
+class SharedPostingsSpec:
+    """Addresses of a content index's query-matching arrays."""
+
+    posting_offsets: SharedArraySpec
+    posting_instances: SharedArraySpec
+    instance_peer: SharedArraySpec
+
+
+@dataclass(frozen=True)
+class PostingArrays:
+    """Worker-side view of a content index's posting structure.
+
+    Exactly the arrays :func:`repro.overlay.content.intersect_postings`
+    needs to evaluate term-id query keys, plus the instance-to-peer map
+    for restricting hits to probed peers.  Term *strings* stay on the
+    coordinator: batch workers receive canonical term-id keys, so the
+    interner never crosses the process boundary.
+    """
+
+    posting_offsets: np.ndarray
+    posting_instances: np.ndarray
+    instance_peer: np.ndarray
+
+
+#: Per-process attachment cache: one mapping per published artifact.
+_ATTACHED: dict[object, object] = {}
 #: Keeps attached segments alive for the lifetime of the process —
 #: a SharedMemory object that gets collected unmaps its buffer.
-_SEGMENTS: dict[SharedTopologySpec, list[shared_memory.SharedMemory]] = {}
+_SEGMENTS: dict[object, list[shared_memory.SharedMemory]] = {}
 
 
 def _untrack(segment: shared_memory.SharedMemory) -> None:
@@ -77,25 +107,17 @@ def _export(array: np.ndarray) -> tuple[SharedArraySpec, shared_memory.SharedMem
     return SharedArraySpec(segment.name, array.shape, array.dtype.str), segment, view
 
 
-class SharedTopology:
-    """Owner handle for a topology published to shared memory.
+class _SharedArrayOwner:
+    """Common owner lifecycle for a set of published arrays.
 
-    The owner keeps working against the same bytes the workers see:
-    ``self.spec`` is the worker-side address, and the segments live
-    until :meth:`close` (or context-manager exit).
+    Subclasses export their arrays in ``__init__``, set ``self.spec``,
+    and pre-seed the attachment cache; this base handles unlinking and
+    the context-manager/GC plumbing.
     """
 
-    def __init__(self, topology: Topology) -> None:
-        off_spec, off_seg, off_view = _export(np.ascontiguousarray(topology.offsets))
-        nbr_spec, nbr_seg, nbr_view = _export(np.ascontiguousarray(topology.neighbors))
-        fwd_spec, fwd_seg, fwd_view = _export(np.ascontiguousarray(topology.forwards))
-        self.spec = SharedTopologySpec(off_spec, nbr_spec, fwd_spec)
-        self._segments = [off_seg, nbr_seg, fwd_seg]
-        self._closed = False
-        # Pre-seed the attachment cache: fork-started workers inherit
-        # it and read the owner's mapping directly, and in-process
-        # "workers" (n_workers=1 fallbacks) skip the name lookup.
-        _ATTACHED[self.spec] = Topology(off_view, nbr_view, fwd_view)
+    spec: object
+    _segments: list[shared_memory.SharedMemory]
+    _closed: bool
 
     def close(self) -> None:
         """Unlink the segments.  Workers must be joined before this."""
@@ -111,7 +133,7 @@ class SharedTopology:
             except FileNotFoundError:  # pragma: no cover - double unlink
                 pass
 
-    def __enter__(self) -> "SharedTopology":
+    def __enter__(self) -> "_SharedArrayOwner":
         return self
 
     def __exit__(self, *exc_info: object) -> None:
@@ -125,14 +147,67 @@ class SharedTopology:
             pass
 
 
-def attach_topology(spec: SharedTopologySpec) -> Topology:
-    """Map a published topology into this process (cached, read-only)."""
-    cached = _ATTACHED.get(spec)
-    if cached is not None:
-        return cached
+class SharedTopology(_SharedArrayOwner):
+    """Owner handle for a topology published to shared memory.
+
+    The owner keeps working against the same bytes the workers see:
+    ``self.spec`` is the worker-side address, and the segments live
+    until :meth:`close` (or context-manager exit).
+    """
+
+    spec: SharedTopologySpec
+
+    def __init__(self, topology: Topology) -> None:
+        off_spec, off_seg, off_view = _export(np.ascontiguousarray(topology.offsets))
+        nbr_spec, nbr_seg, nbr_view = _export(np.ascontiguousarray(topology.neighbors))
+        fwd_spec, fwd_seg, fwd_view = _export(np.ascontiguousarray(topology.forwards))
+        self.spec = SharedTopologySpec(off_spec, nbr_spec, fwd_spec)
+        self._segments = [off_seg, nbr_seg, fwd_seg]
+        self._closed = False
+        # Pre-seed the attachment cache: fork-started workers inherit
+        # it and read the owner's mapping directly, and in-process
+        # "workers" (n_workers=1 fallbacks) skip the name lookup.
+        _ATTACHED[self.spec] = Topology(off_view, nbr_view, fwd_view)
+
+    def __enter__(self) -> "SharedTopology":
+        return self
+
+
+class SharedPostings(_SharedArrayOwner):
+    """Owner handle for a content index's posting arrays in shared memory.
+
+    Mirrors :class:`SharedTopology` for the batched query engine: the
+    posting CSR plus the instance-to-peer map are published once, and
+    workers chunking over query batches attach zero-copy views through
+    the picklable :class:`SharedPostingsSpec`.
+    """
+
+    spec: SharedPostingsSpec
+
+    def __init__(self, content: SharedContentIndex) -> None:
+        off_spec, off_seg, off_view = _export(
+            np.ascontiguousarray(content._posting_offsets)
+        )
+        ins_spec, ins_seg, ins_view = _export(
+            np.ascontiguousarray(content._posting_instances)
+        )
+        pee_spec, pee_seg, pee_view = _export(
+            np.ascontiguousarray(content.instance_peer)
+        )
+        self.spec = SharedPostingsSpec(off_spec, ins_spec, pee_spec)
+        self._segments = [off_seg, ins_seg, pee_seg]
+        self._closed = False
+        _ATTACHED[self.spec] = PostingArrays(off_view, ins_view, pee_view)
+
+    def __enter__(self) -> "SharedPostings":
+        return self
+
+
+def _attach_arrays(specs: tuple[SharedArraySpec, ...]) -> tuple[list[np.ndarray], list[shared_memory.SharedMemory]]:
+    """Map a tuple of array specs read-only into this process."""
     segments: list[shared_memory.SharedMemory] = []
     arrays: list[np.ndarray] = []
-    for array_spec in (spec.offsets, spec.neighbors, spec.forwards):
+    for array_spec in specs:
         segment = shared_memory.SharedMemory(name=array_spec.name)
         _untrack(segment)
         segments.append(segment)
@@ -141,7 +216,32 @@ def attach_topology(spec: SharedTopologySpec) -> Topology:
         )
         view.flags.writeable = False
         arrays.append(view)
+    return arrays, segments
+
+
+def attach_topology(spec: SharedTopologySpec) -> Topology:
+    """Map a published topology into this process (cached, read-only)."""
+    cached = _ATTACHED.get(spec)
+    if cached is not None:
+        assert isinstance(cached, Topology)
+        return cached
+    arrays, segments = _attach_arrays((spec.offsets, spec.neighbors, spec.forwards))
     topology = Topology(arrays[0], arrays[1], arrays[2])
     _ATTACHED[spec] = topology
     _SEGMENTS[spec] = segments
     return topology
+
+
+def attach_postings(spec: SharedPostingsSpec) -> PostingArrays:
+    """Map published posting arrays into this process (cached, read-only)."""
+    cached = _ATTACHED.get(spec)
+    if cached is not None:
+        assert isinstance(cached, PostingArrays)
+        return cached
+    arrays, segments = _attach_arrays(
+        (spec.posting_offsets, spec.posting_instances, spec.instance_peer)
+    )
+    postings = PostingArrays(arrays[0], arrays[1], arrays[2])
+    _ATTACHED[spec] = postings
+    _SEGMENTS[spec] = segments
+    return postings

@@ -65,8 +65,7 @@ def load_trace(path: str | Path) -> GnutellaShareTrace:
         trace.song_ids = data["song_ids"]
         trace.name_ids = data["name_ids"]
         interner = StringInterner()
-        for s in data["names"].tolist():
-            interner.intern(str(s))
+        interner.intern_bulk([str(s) for s in data["names"].tolist()])
         trace.names = interner
         trace.peer_of_instance = np.repeat(
             np.arange(trace.config.n_peers, dtype=np.int64),

@@ -44,9 +44,27 @@ class StringInterner:
 
     def intern_all(self, strings: list[str]) -> np.ndarray:
         """Intern a batch; returns an ``int64`` id array."""
-        return np.fromiter(
-            (self.intern(s) for s in strings), dtype=np.int64, count=len(strings)
-        )
+        return self.intern_bulk(strings)
+
+    def intern_bulk(self, strings: list[str]) -> np.ndarray:
+        """Bulk-intern fast path: one pass, no per-string method calls.
+
+        Identical semantics to looping :meth:`intern` (insertion order
+        assigns ids), but the dict/list lookups are inlined — bulk
+        loads like :func:`repro.tracegen.io.load_trace`, which re-intern
+        hundreds of thousands of saved names, go through here.
+        """
+        to_id = self._to_id
+        to_str = self._to_str
+        ids = np.empty(len(strings), dtype=np.int64)
+        for i, s in enumerate(strings):
+            ident = to_id.get(s)
+            if ident is None:
+                ident = len(to_str)
+                to_id[s] = ident
+                to_str.append(s)
+            ids[i] = ident
+        return ids
 
     def lookup(self, ident: int) -> str:
         """Inverse mapping (raises ``IndexError`` for unknown ids)."""

@@ -76,3 +76,10 @@ class TestCommands:
         assert main(["workload"]) == 0
         out = capsys.readouterr().out
         assert "terms per query" in out and "Zipf exponent" in out
+
+    def test_profile_wraps_command(self, capsys):
+        assert main(["--profile", "resolvability"]) == 0
+        out = capsys.readouterr().out
+        # Command output first, then the cProfile table.
+        assert "T-RESOLV" in out
+        assert "cumulative" in out and "ncalls" in out

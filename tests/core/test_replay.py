@@ -121,3 +121,47 @@ class TestReplay:
             replay(small_bundle, [], n_queries=5)
         with pytest.raises(ValueError, match="n_queries"):
             replay(small_bundle, [object()], n_queries=0)  # type: ignore[list-item]
+
+
+class _ScalarOnly:
+    """Strategy facade hiding ``search_batch`` to force the scalar path."""
+
+    def __init__(self, inner):
+        self._inner = inner
+        self.name = inner.name + "-scalar"
+
+    def search(self, source, terms):
+        return self._inner.search(source, terms)
+
+
+class TestBatchedReplay:
+    def test_flood_batched_equals_scalar(self, small_bundle, stack):
+        network, _ = stack
+        batched = FloodStrategy(network, ttl=2)
+        scalar = _ScalarOnly(FloodStrategy(network, ttl=2))
+        rb, rs = replay(small_bundle, [batched, scalar], n_queries=30, seed=5)
+        assert rb.success_rate == rs.success_rate
+        assert rb.mean_messages == rs.mean_messages
+
+    def test_expanding_ring_batched_equals_scalar(self, small_bundle, stack):
+        network, _ = stack
+        batched = ExpandingRingStrategy(network, ttl_schedule=(1, 2, 3))
+        scalar = _ScalarOnly(ExpandingRingStrategy(network, ttl_schedule=(1, 2, 3)))
+        rb, rs = replay(small_bundle, [batched, scalar], n_queries=25, seed=6)
+        assert rb.success_rate == rs.success_rate
+        assert rb.mean_messages == rs.mean_messages
+
+    @pytest.mark.parametrize("n_workers", [2, 4])
+    def test_worker_count_independent(self, small_bundle, stack, n_workers):
+        network, _ = stack
+        serial = replay(
+            small_bundle, [FloodStrategy(network, ttl=2)], n_queries=24, seed=8
+        )
+        parallel = replay(
+            small_bundle,
+            [FloodStrategy(network, ttl=2)],
+            n_queries=24,
+            seed=8,
+            n_workers=n_workers,
+        )
+        assert serial[0] == parallel[0]

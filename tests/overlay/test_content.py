@@ -45,6 +45,67 @@ class TestMatch:
         np.testing.assert_array_equal(a, b)
 
 
+class TestMatchBatch:
+    def queries(self, content, n=12):
+        trace = content.trace
+        out = []
+        for i in range(n):
+            name = trace.names.lookup(int(trace.name_ids[i % 5]))
+            out.append(tokenize_name(name)[: 1 + i % 2])
+        out.append(["zzzznotaterm"])  # unknown-term row
+        return out
+
+    def test_rows_match_scalar(self, small_content):
+        queries = self.queries(small_content)
+        matches = small_content.match_batch(queries)
+        assert matches.n_queries == len(queries)
+        for i, q in enumerate(queries):
+            np.testing.assert_array_equal(
+                matches.query_instances(i), small_content.match(q)
+            )
+
+    def test_deduplicates_repeated_queries(self, small_content):
+        queries = self.queries(small_content)
+        matches = small_content.match_batch(queries)
+        # Query i and i+2 share a name (i % 5 cycle) and term count
+        # (i % 2 cycle is period 2), so distinct rows < total rows.
+        assert matches.n_distinct < matches.n_queries
+        key0 = small_content.query_key(queries[0])
+        for i, q in enumerate(queries):
+            if small_content.query_key(q) == key0:
+                assert matches.distinct_index[i] == matches.distinct_index[0]
+
+    def test_counts_column(self, small_content):
+        queries = self.queries(small_content)
+        matches = small_content.match_batch(queries)
+        for i in range(matches.n_queries):
+            assert matches.counts[i] == matches.query_instances(i).size
+
+    def test_unknown_term_row_empty(self, small_content):
+        matches = small_content.match_batch([["zzzznotaterm"]])
+        assert matches.query_instances(0).size == 0
+
+    def test_empty_query_raises(self, small_content):
+        with pytest.raises(ValueError, match="term"):
+            small_content.match_batch([["ok"], []])
+
+    def test_empty_batch(self, small_content):
+        matches = small_content.match_batch([])
+        assert matches.n_queries == 0
+        assert matches.n_distinct == 0
+
+    def test_query_key_canonicalizes(self, small_content):
+        trace = small_content.trace
+        terms = tokenize_name(trace.names.lookup(int(trace.name_ids[0])))[:2]
+        if len(terms) == 2:
+            assert small_content.query_key(terms) == small_content.query_key(
+                list(reversed(terms)) + terms
+            )
+        assert small_content.query_key(["zzzznotaterm"]) is None
+        with pytest.raises(ValueError, match="term"):
+            small_content.query_key([])
+
+
 class TestPostings:
     def test_posting_sorted_unique(self, small_content):
         for tid in range(0, min(50, small_content.term_index.n_terms)):

@@ -6,7 +6,13 @@ import networkx as nx
 import numpy as np
 import pytest
 
-from repro.overlay.flooding import flood, flood_depths, reach_fractions
+from repro.overlay.flooding import (
+    FloodDepthCache,
+    flood,
+    flood_depths,
+    flood_depths_batch,
+    reach_fractions,
+)
 from repro.overlay.topology import from_networkx, two_tier_gnutella
 
 
@@ -84,6 +90,73 @@ class TestFloodApi:
     def test_monotone_reach_in_ttl(self, small_two_tier):
         reaches = [flood(small_two_tier, 0, t).n_reached for t in range(6)]
         assert all(a <= b for a, b in zip(reaches, reaches[1:]))
+
+
+class TestFloodDepthCache:
+    def test_entry_matches_kernel_at_every_ttl(self, small_two_tier):
+        cache = FloodDepthCache(small_two_tier)
+        entry = cache.entry(0, 5)
+        for ttl in range(6):
+            depth, messages = flood_depths(small_two_tier, 0, ttl)
+            np.testing.assert_array_equal(entry.depth_at(ttl), depth)
+            assert entry.messages(ttl) == messages
+            assert entry.reached(ttl) == int((depth >= 0).sum())
+
+    def test_exhausted_entry_covers_any_ttl(self, ring_topology):
+        # A 12-cycle exhausts at depth 6; the entry must then answer
+        # deeper TTLs without recomputation.
+        cache = FloodDepthCache(ring_topology)
+        entry = cache.entry(0, 8)
+        assert entry.exhausted
+        assert entry.supports(100)
+        depth, messages = flood_depths(ring_topology, 0, 50)
+        np.testing.assert_array_equal(entry.depth_at(50), depth)
+        assert entry.messages(50) == messages
+
+    def test_repeat_source_returns_cached_entry(self, small_two_tier):
+        cache = FloodDepthCache(small_two_tier)
+        assert cache.entry(3, 4) is cache.entry(3, 4)
+        assert cache.entry(3, 2) is cache.entry(3, 4)  # shallower slices too
+        assert len(cache) == 1
+
+    def test_deeper_request_recomputes(self, small_two_tier):
+        cache = FloodDepthCache(small_two_tier)
+        shallow = cache.entry(0, 1)
+        deep = cache.entry(0, 4)
+        if not shallow.exhausted:
+            assert deep is not shallow
+        assert deep.supports(4)
+
+    def test_lru_eviction(self, small_two_tier):
+        cache = FloodDepthCache(small_two_tier, max_entries=2)
+        cache.entry(0, 2)
+        cache.entry(1, 2)
+        cache.entry(2, 2)  # evicts source 0
+        assert len(cache) == 2
+
+    def test_validation(self, small_two_tier):
+        with pytest.raises(ValueError, match="max_entries"):
+            FloodDepthCache(small_two_tier, max_entries=0)
+        with pytest.raises(ValueError, match="min_depth"):
+            FloodDepthCache(small_two_tier).entry(0, -1)
+
+
+class TestFloodDepthsBatch:
+    def test_matches_per_source_kernel(self, small_two_tier):
+        sources = np.array([0, 5, 0, 9, 5])
+        depth, messages = flood_depths_batch(small_two_tier, sources, 3)
+        assert depth.shape == (5, small_two_tier.n_nodes)
+        for i, s in enumerate(sources):
+            d, m = flood_depths(small_two_tier, int(s), 3)
+            np.testing.assert_array_equal(depth[i], d)
+            assert messages[i] == m
+
+    def test_shared_cache_reused_across_calls(self, small_two_tier):
+        cache = FloodDepthCache(small_two_tier)
+        flood_depths_batch(small_two_tier, np.array([0, 1]), 2, cache=cache)
+        n_before = len(cache)
+        flood_depths_batch(small_two_tier, np.array([0, 1]), 2, cache=cache)
+        assert len(cache) == n_before == 2
 
 
 class TestReachFractions:

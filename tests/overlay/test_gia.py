@@ -10,6 +10,7 @@ from repro.overlay.gia import (
     gia_search,
     gia_success_rate,
     gia_topology,
+    one_hop_coverage,
     sample_capacities,
 )
 from repro.utils.rng import make_rng
@@ -83,6 +84,42 @@ class TestSearch:
             gia_search(topo, caps, np.zeros(3, dtype=bool), 0)
         with pytest.raises(ValueError, match="max_steps"):
             gia_search(topo, caps, np.zeros(topo.n_nodes, dtype=bool), 0, max_steps=-1)
+
+
+class TestOneHopCoverage:
+    def test_matches_bruteforce(self, gia_net):
+        topo, _ = gia_net
+        rng = make_rng(5)
+        holder = np.zeros(topo.n_nodes, dtype=bool)
+        holder[rng.choice(topo.n_nodes, size=40, replace=False)] = True
+        cov = one_hop_coverage(topo, holder)
+        for v in range(0, topo.n_nodes, 31):
+            expected = bool(holder[v]) or bool(holder[topo.neighbors_of(v)].any())
+            assert bool(cov[v]) == expected
+
+    def test_empty_holder_covers_nothing(self, gia_net):
+        topo, _ = gia_net
+        cov = one_hop_coverage(topo, np.zeros(topo.n_nodes, dtype=bool))
+        assert not cov.any()
+
+    def test_validation(self, gia_net):
+        topo, _ = gia_net
+        with pytest.raises(ValueError, match="holder"):
+            one_hop_coverage(topo, np.zeros(3, dtype=bool))
+
+    def test_search_with_coverage_identical(self, gia_net):
+        """Precomputed coverage must not change walks or outcomes."""
+        topo, caps = gia_net
+        rng = make_rng(6)
+        holder = np.zeros(topo.n_nodes, dtype=bool)
+        holder[rng.choice(topo.n_nodes, size=10, replace=False)] = True
+        cov = one_hop_coverage(topo, holder)
+        for seed in range(8):
+            plain = gia_search(topo, caps, holder, seed, max_steps=40, seed=seed)
+            fast = gia_search(
+                topo, caps, holder, seed, max_steps=40, seed=seed, coverage=cov
+            )
+            assert plain == fast
 
 
 class TestSuccessRate:

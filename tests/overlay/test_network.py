@@ -48,6 +48,22 @@ class TestQueryFlood:
         out = network.query_flood(0, ["whatever"], ttl=2)
         assert out.messages > 0
 
+    def test_responding_peers_lazy_and_deduped(self, network):
+        terms = popular_terms(network.content)
+        out = network.query_flood(0, terms, ttl=3)
+        np.testing.assert_array_equal(
+            out.responding_peers, np.unique(out.hit_peers)
+        )
+        # cached_property: the derived array is computed once.
+        assert out.responding_peers is out.responding_peers
+
+    def test_hit_peers_align_with_instances(self, network):
+        terms = popular_terms(network.content)
+        out = network.query_flood(0, terms, ttl=4)
+        np.testing.assert_array_equal(
+            out.hit_peers, network.content.instance_peer[out.hit_instances]
+        )
+
 
 class TestQueryWalk:
     def test_walk_messages_bounded(self, network):
@@ -97,3 +113,10 @@ class TestProtocolFacade:
         assert hit.responder == peer
         assert hit.n_results >= 1
         assert any(terms[0] in tokenize_name(n) for n in hit.file_names)
+
+    def test_answer_miss_returns_empty_hit(self, network):
+        msg = QueryMessage(terms=("zzzznotaterm",), ttl=1)
+        hit = network.answer(msg, 0)
+        assert hit.guid == msg.guid
+        assert hit.n_results == 0
+        assert hit.file_names == ()

@@ -6,9 +6,10 @@ import numpy as np
 import pytest
 
 from repro.analysis.tokenize import tokenize_name
-from repro.overlay.flooding import flood
-from repro.overlay.qrp import QrpTables, qrp_flood
+from repro.overlay.flooding import FloodDepthCache, flood
+from repro.overlay.qrp import QrpTables, qrp_flood, qrp_flood_batch
 from repro.overlay.topology import two_tier_gnutella
+from repro.utils.rng import make_rng
 
 
 @pytest.fixture(scope="module")
@@ -103,3 +104,43 @@ class TestQrpFlood:
         result = qrp_flood(topo, tables, 0, terms, ttl=4)
         assert result.false_positive_deliveries >= 0
         assert result.false_positive_deliveries <= result.delivered.size
+
+
+class TestQrpFloodBatch:
+    def workload(self, content, n=30):
+        trace = content.trace
+        rng = make_rng(21)
+        sources = rng.integers(0, content.n_peers, size=n)
+        queries = []
+        for _ in range(n):
+            inst = int(rng.integers(0, min(30, trace.n_instances)))
+            toks = tokenize_name(trace.names.lookup(int(trace.name_ids[inst])))
+            queries.append(toks[: 1 + int(rng.integers(0, 2))])
+        queries[-1] = ["qqqq-unknown-term-qqqq"]
+        return sources, queries
+
+    def test_matches_scalar_qrp_flood(self, qrp_setup, small_content):
+        topo, tables = qrp_setup
+        sources, queries = self.workload(small_content)
+        out = qrp_flood_batch(topo, tables, sources, queries, ttl=3)
+        assert out.n_queries == sources.size
+        for i in range(sources.size):
+            scalar = qrp_flood(topo, tables, int(sources[i]), queries[i], ttl=3)
+            assert int(out.messages[i]) == scalar.messages
+            assert int(out.messages_without_qrp[i]) == scalar.messages_without_qrp
+            assert int(out.n_delivered[i]) == scalar.delivered.size
+            assert (
+                int(out.false_positive_deliveries[i])
+                == scalar.false_positive_deliveries
+            )
+            assert float(out.savings[i]) == scalar.savings
+
+    def test_shared_cache_identical(self, qrp_setup, small_content):
+        topo, tables = qrp_setup
+        sources, queries = self.workload(small_content, n=15)
+        fresh = qrp_flood_batch(topo, tables, sources, queries, ttl=3)
+        shared = qrp_flood_batch(
+            topo, tables, sources, queries, ttl=3, cache=FloodDepthCache(topo)
+        )
+        np.testing.assert_array_equal(fresh.messages, shared.messages)
+        np.testing.assert_array_equal(fresh.n_delivered, shared.n_delivered)

@@ -95,3 +95,35 @@ class TestSimulateCache:
         workload-level reason ultrapeer caches underperformed."""
         report = simulate_cache(small_workload, max_queries=20_000)
         assert report.hit_rate < 0.6
+
+    def test_saved_fraction_zero_without_costs(self, small_workload):
+        report = simulate_cache(small_workload, max_queries=2_000)
+        assert report.messages_saved_fraction == 0.0
+
+    def test_saved_fraction_with_uniform_costs_equals_hit_rate(
+        self, small_workload
+    ):
+        n = 5_000
+        costs = np.full(n, 100, dtype=np.int64)
+        report = simulate_cache(
+            small_workload, max_queries=n, flood_messages=costs
+        )
+        assert report.messages_saved_fraction == pytest.approx(report.hit_rate)
+
+    def test_saved_fraction_weights_by_cost(self, small_workload):
+        """Costing only the cached-and-hit rows drives the fraction up."""
+        n = 5_000
+        flat = simulate_cache(
+            small_workload,
+            max_queries=n,
+            flood_messages=np.full(n, 7, dtype=np.int64),
+        )
+        assert 0.0 <= flat.messages_saved_fraction <= 1.0
+
+    def test_short_cost_column_rejected(self, small_workload):
+        with pytest.raises(ValueError, match="flood_messages"):
+            simulate_cache(
+                small_workload,
+                max_queries=100,
+                flood_messages=np.ones(10, dtype=np.int64),
+            )

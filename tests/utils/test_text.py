@@ -32,6 +32,23 @@ class TestStringInterner:
         arr = si.intern_all(["x", "y", "x"])
         np.testing.assert_array_equal(arr, [0, 1, 0])
 
+    def test_intern_bulk_matches_scalar_intern(self):
+        strings = ["x", "y", "x", "z", "y", "x"]
+        bulk, scalar = StringInterner(), StringInterner()
+        arr = bulk.intern_bulk(strings)
+        np.testing.assert_array_equal(arr, [scalar.intern(s) for s in strings])
+        assert bulk.strings() == scalar.strings()
+
+    def test_intern_bulk_extends_existing(self):
+        si = StringInterner()
+        si.intern("a")
+        np.testing.assert_array_equal(si.intern_bulk(["b", "a"]), [1, 0])
+
+    def test_intern_bulk_empty(self):
+        si = StringInterner()
+        assert si.intern_bulk([]).size == 0
+        assert len(si) == 0
+
     def test_get_missing_is_none(self):
         assert StringInterner().get("nope") is None
 
