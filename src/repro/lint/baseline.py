@@ -1,0 +1,126 @@
+"""Baseline files: adopt simlint on a tree without fixing it all at once.
+
+A baseline records the findings a team has accepted as pre-existing
+debt.  Subsequent runs subtract baselined findings, so CI only fails on
+*new* violations; ``--write-baseline`` refreshes the file once debt is
+paid down, and the CI gate refuses baselines that silently shrink
+(stale entries must be removed explicitly, keeping the file honest).
+
+Fingerprints are ``path::code::message`` with a count per fingerprint
+(the ESLint/golangci style): line numbers are deliberately excluded so
+unrelated edits above a known finding don't churn the file.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.lint.diagnostics import Diagnostic
+
+__all__ = [
+    "Baseline",
+    "BaselineResult",
+    "apply_baseline",
+    "fingerprint",
+    "load_baseline",
+    "write_baseline",
+]
+
+BASELINE_SCHEMA_VERSION = 1
+
+
+def fingerprint(diag: Diagnostic) -> str:
+    """Stable identity of a finding across unrelated line-number churn."""
+    return f"{diag.path}::{diag.code}::{diag.message}"
+
+
+@dataclass(frozen=True)
+class Baseline:
+    """Accepted findings: fingerprint -> how many instances are accepted."""
+
+    entries: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def total(self) -> int:
+        return sum(self.entries.values())
+
+
+@dataclass
+class BaselineResult:
+    """Outcome of subtracting a baseline from a findings list."""
+
+    #: findings not covered by the baseline — these fail the build.
+    new: list[Diagnostic]
+    #: findings absorbed by a baseline entry.
+    matched: list[Diagnostic]
+    #: fingerprints present in the baseline but absent from this run —
+    #: debt that was paid off and should be removed via --write-baseline.
+    stale: list[str]
+
+
+def from_findings(findings: Iterable[Diagnostic]) -> Baseline:
+    entries: dict[str, int] = {}
+    for diag in findings:
+        key = fingerprint(diag)
+        entries[key] = entries.get(key, 0) + 1
+    return Baseline(entries=entries)
+
+
+def apply_baseline(
+    findings: Sequence[Diagnostic], baseline: Baseline
+) -> BaselineResult:
+    """Partition ``findings`` into new vs. baselined, reporting stale debt.
+
+    When a fingerprint occurs more often than the baseline accepts, the
+    first ``count`` occurrences (in sorted diagnostic order) are
+    absorbed and the surplus surfaces as new.
+    """
+    remaining = dict(baseline.entries)
+    new: list[Diagnostic] = []
+    matched: list[Diagnostic] = []
+    for diag in findings:
+        key = fingerprint(diag)
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+            matched.append(diag)
+        else:
+            new.append(diag)
+    stale = sorted(
+        key for key, count in remaining.items() if count == baseline.entries.get(key)
+        and count > 0
+    )
+    # Partially-consumed fingerprints are live debt, not stale.
+    return BaselineResult(new=new, matched=matched, stale=stale)
+
+
+def load_baseline(path: Path) -> Baseline | None:
+    """Read a baseline file; ``None`` when absent or unreadable."""
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return None
+    if not isinstance(data, dict) or data.get("schema") != BASELINE_SCHEMA_VERSION:
+        return None
+    raw = data.get("findings")
+    if not isinstance(raw, dict):
+        return None
+    entries: dict[str, int] = {}
+    for key, count in raw.items():
+        if isinstance(key, str) and isinstance(count, int) and count > 0:
+            entries[key] = count
+    return Baseline(entries=entries)
+
+
+def write_baseline(path: Path, findings: Iterable[Diagnostic]) -> Baseline:
+    """Serialize current findings as the new accepted baseline."""
+    baseline = from_findings(findings)
+    payload = {
+        "schema": BASELINE_SCHEMA_VERSION,
+        "findings": dict(sorted(baseline.entries.items())),
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return baseline

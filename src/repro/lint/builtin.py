@@ -14,6 +14,7 @@ import ast
 from typing import Iterator
 
 from repro.lint.diagnostics import Diagnostic
+from repro.lint.index import dotted_name, import_aliases, resolve_alias
 from repro.lint.rules import FileContext, register_rule
 
 __all__ = [
@@ -26,49 +27,12 @@ __all__ = [
     "SeedParameterRule",
 ]
 
-
-def _dotted_name(node: ast.expr) -> str | None:
-    """Render a Name/Attribute chain as ``a.b.c`` (None for anything else)."""
-    parts: list[str] = []
-    while isinstance(node, ast.Attribute):
-        parts.append(node.attr)
-        node = node.value
-    if not isinstance(node, ast.Name):
-        return None
-    parts.append(node.id)
-    return ".".join(reversed(parts))
-
-
-def _import_aliases(tree: ast.Module) -> dict[str, str]:
-    """Map local names to the fully-qualified object they import.
-
-    ``import numpy as np`` -> ``{"np": "numpy"}``;
-    ``from time import perf_counter`` -> ``{"perf_counter": "time.perf_counter"}``.
-    Star imports are unresolvable and therefore skipped.
-    """
-    aliases: dict[str, str] = {}
-    for node in ast.walk(tree):
-        if isinstance(node, ast.Import):
-            for alias in node.names:
-                if alias.asname is not None:
-                    aliases[alias.asname] = alias.name
-                else:
-                    # ``import a.b`` binds ``a`` locally.
-                    aliases[alias.name.split(".")[0]] = alias.name.split(".")[0]
-        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
-            for alias in node.names:
-                if alias.name == "*":
-                    continue
-                local = alias.asname or alias.name
-                aliases[local] = f"{node.module}.{alias.name}"
-    return aliases
-
-
-def _resolve(chain: str, aliases: dict[str, str]) -> str:
-    """Substitute the chain's root through the import-alias map."""
-    root, _, rest = chain.partition(".")
-    full = aliases.get(root, root)
-    return f"{full}.{rest}" if rest else full
+# Shared syntactic helpers live in repro.lint.index (the phase-1 symbol
+# table uses the same resolution); these names keep the rule bodies
+# readable.
+_dotted_name = dotted_name
+_import_aliases = import_aliases
+_resolve = resolve_alias
 
 
 def _diag(ctx: FileContext, node: ast.AST, code: str, message: str) -> Diagnostic:

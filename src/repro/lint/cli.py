@@ -2,7 +2,14 @@
 
 Exit codes follow compiler convention: 0 clean, 1 findings, 2 usage or
 configuration error.  ``--format json`` emits a stable machine-readable
-schema (documented in docs/static-analysis.md) for CI annotation.
+schema (documented in docs/static-analysis.md) for CI annotation;
+``--format sarif`` emits SARIF 2.1.0 for code-scanning uploads.
+
+v2 additions: ``--baseline``/``--write-baseline`` (adopt-then-ratchet
+workflow), ``--update-lock`` (re-pin SIM014's producers.lock),
+``--fix`` (mechanical SIM012/SIM014 rewrites), ``--stats`` (per-rule
+counts and index timings), and ``--index-cache`` (reuse the phase-1
+symbol table across CI steps).
 """
 
 from __future__ import annotations
@@ -13,10 +20,18 @@ import sys
 from pathlib import Path
 from typing import Sequence
 
+from repro.lint.baseline import (
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
 from repro.lint.config import LintConfig, find_pyproject, load_config
 from repro.lint.diagnostics import Diagnostic
-from repro.lint.engine import lint_paths
+from repro.lint.engine import LintRun, run_lint
+from repro.lint.fixes import apply_fixes
 from repro.lint.rules import registered_rules
+from repro.lint.sarif import render_sarif
+from repro.lint.semantic import compute_lock_entries, write_producers_lock
 
 __all__ = ["main", "build_parser", "render_json"]
 
@@ -28,8 +43,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-lint",
         description=(
-            "simlint: AST-based simulation-invariant linter for the repro "
-            "codebase (RNG discipline, wall-clock bans, export hygiene)."
+            "simlint: two-phase static analyzer for the repro codebase — "
+            "per-file invariants (RNG discipline, wall-clock bans, export "
+            "hygiene) plus cross-module dataflow rules (closure-captured "
+            "generators, shm lifecycle, cache purity, version-bump "
+            "enforcement)."
         ),
     )
     parser.add_argument(
@@ -37,7 +55,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="files or directories to lint (default: src)",
     )
     parser.add_argument(
-        "--format", choices=("human", "json"), default="human",
+        "--format", choices=("human", "json", "sarif"), default="human",
         help="output format (default: human)",
     )
     parser.add_argument(
@@ -55,6 +73,34 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--list-rules", action="store_true",
         help="print registered rules and exit",
+    )
+    parser.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help="baseline file of accepted findings (default: [tool.simlint] baseline)",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="write current findings to the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="report all findings, ignoring any configured baseline",
+    )
+    parser.add_argument(
+        "--update-lock", action="store_true",
+        help="re-pin producers.lock to the current producer digests and exit",
+    )
+    parser.add_argument(
+        "--fix", action="store_true",
+        help="apply mechanical fixes (SIM012 with-wrap, SIM014 version bump)",
+    )
+    parser.add_argument(
+        "--stats", action="store_true",
+        help="print per-rule counts, files indexed, and timings to stderr",
+    )
+    parser.add_argument(
+        "--index-cache", default=None, metavar="DIR",
+        help="directory for the phase-1 symbol-table cache (CI reuse)",
     )
     return parser
 
@@ -78,6 +124,27 @@ def render_json(
         "diagnostics": [diag.to_dict() for diag in findings],
         "counts": dict(sorted(counts.items())),
     }
+
+
+def _print_stats(run: LintRun, *, baselined: int) -> None:
+    err = sys.stderr
+    print("simlint --stats", file=err)
+    print(f"  files checked:      {run.files_checked}", file=err)
+    if run.project is not None:
+        print(f"  files indexed:      {len(run.project.index.modules)}", file=err)
+        print(f"  functions indexed:  {len(run.project.index.functions)}", file=err)
+        edges = sum(len(sites) for sites in run.project.index.calls.values())
+        print(f"  call edges:         {edges}", file=err)
+    print(f"  index build:        {run.index_build_seconds:.3f}s", file=err)
+    print(f"  total:              {run.total_seconds:.3f}s", file=err)
+    print(f"  suppressed:         {run.suppressed}", file=err)
+    if baselined:
+        print(f"  baselined:          {baselined}", file=err)
+    counts = run.rule_counts
+    if counts:
+        print("  findings by rule:", file=err)
+        for code, count in counts.items():
+            print(f"    {code}: {count}", file=err)
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -126,16 +193,86 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(f"error: no such path(s): {', '.join(missing)}", file=sys.stderr)
         return 2
 
-    findings, files_checked = lint_paths(args.paths, config)
+    index_cache = Path(args.index_cache) if args.index_cache else None
+    run = run_lint(args.paths, config, index_cache=index_cache)
+
+    if args.update_lock:
+        lock_path = config.producers_lock_path
+        if lock_path is None:
+            print(
+                "error: --update-lock needs [tool.simlint] producers-lock",
+                file=sys.stderr,
+            )
+            return 2
+        if run.project is None:
+            print("error: nothing was indexed; cannot compute lock", file=sys.stderr)
+            return 2
+        entries, problems = compute_lock_entries(run.project)
+        for problem in problems:
+            print(f"warning: {problem}", file=sys.stderr)
+        write_producers_lock(lock_path, entries)
+        print(f"simlint: wrote {len(entries)} producer(s) to {lock_path}")
+        return 0
+
+    if args.fix:
+        result = apply_fixes(run)
+        for path, new_source in sorted(result.new_sources.items()):
+            Path(path).write_text(new_source, encoding="utf-8")
+        for diag in result.fixed:
+            print(f"fixed: {diag.format_human()}")
+        for diag, reason in result.skipped:
+            print(f"not fixed ({reason}): {diag.format_human()}", file=sys.stderr)
+        if result.new_sources:
+            # Re-lint from disk so the exit code reflects the fixed tree.
+            run = run_lint(args.paths, config, index_cache=index_cache)
+
+    findings = run.findings
+    baselined = 0
+    baseline_path = (
+        Path(args.baseline) if args.baseline else config.baseline_path
+    )
+    if args.write_baseline:
+        if baseline_path is None:
+            print(
+                "error: --write-baseline needs --baseline or "
+                "[tool.simlint] baseline",
+                file=sys.stderr,
+            )
+            return 2
+        written = write_baseline(baseline_path, findings)
+        print(
+            f"simlint: baselined {written.total} finding(s) to {baseline_path}"
+        )
+        return 0
+    if baseline_path is not None and not args.no_baseline:
+        baseline = load_baseline(baseline_path)
+        if baseline is not None:
+            result_b = apply_baseline(findings, baseline)
+            findings = result_b.new
+            baselined = len(result_b.matched)
+            for key in result_b.stale:
+                print(
+                    f"warning: baseline entry no longer matches anything "
+                    f"(run --write-baseline to drop it): {key}",
+                    file=sys.stderr,
+                )
 
     if args.format == "json":
-        print(json.dumps(render_json(findings, files_checked), indent=2))
+        print(json.dumps(render_json(findings, run.files_checked), indent=2))
+    elif args.format == "sarif":
+        sys.stdout.write(render_sarif(findings))
     else:
         for diag in findings:
             print(diag.format_human())
-        noun = "file" if files_checked == 1 else "files"
+        noun = "file" if run.files_checked == 1 else "files"
+        suffix = f" ({baselined} baselined)" if baselined else ""
         if findings:
-            print(f"simlint: {len(findings)} finding(s) in {files_checked} {noun}")
+            print(
+                f"simlint: {len(findings)} finding(s) in "
+                f"{run.files_checked} {noun}{suffix}"
+            )
         else:
-            print(f"simlint: {files_checked} {noun} clean")
+            print(f"simlint: {run.files_checked} {noun} clean{suffix}")
+    if args.stats:
+        _print_stats(run, baselined=baselined)
     return 1 if findings else 0

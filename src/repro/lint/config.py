@@ -4,10 +4,17 @@ The loader is dependency-light: it uses :mod:`tomllib` (stdlib on
 3.11+) or :mod:`tomli` when available, and silently falls back to the
 built-in defaults otherwise — the linter must run in minimal
 environments, and the defaults encode this repository's conventions.
+
+v2 adds per-tree rule selection (``[tool.simlint.per-tree."tests/*"]``
+tables overlay ``select``/``ignore`` for matching paths), the baseline
+file, the SIM014 producer lock, and the target sets the semantic rules
+resolve against (parallel-map entry points, shm factories, cache
+registrars).
 """
 
 from __future__ import annotations
 
+import fnmatch
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
@@ -20,7 +27,7 @@ except ImportError:  # pragma: no cover - exercised only on 3.10
     except ImportError:
         _toml = None  # type: ignore[assignment]
 
-__all__ = ["LintConfig", "load_config", "find_pyproject"]
+__all__ = ["LintConfig", "TreeRules", "load_config", "find_pyproject"]
 
 # Modules allowed to touch numpy's RNG constructors directly (SIM001).
 # Matched as a path *suffix* so absolute and relative invocations agree.
@@ -32,6 +39,52 @@ DEFAULT_WALLCLOCK_EXEMPT = ("benchmarks/*", "*/benchmarks/*")
 
 DEFAULT_EXCLUDE = ("*/.git/*", "*/__pycache__/*", "*/build/*", "*/dist/*")
 
+# SIM010: deterministic fan-out entry points whose task closures must
+# not capture a live generator (workers re-derive from (seed, key, i)).
+DEFAULT_PARALLEL_MAPS = (
+    "repro.runtime.parallel.pmap",
+    "repro.runtime.parallel.parallel_map",
+)
+
+# SIM012: allocations that own kernel-backed segments and must be
+# released on every path (with / try-finally / ownership transfer).
+DEFAULT_SHM_FACTORIES = (
+    "repro.runtime.shm.SharedTopology",
+    "repro.runtime.shm.SharedPostings",
+    "multiprocessing.shared_memory.SharedMemory",
+    "shared_memory.SharedMemory",
+)
+
+# SIM013/SIM014: the artifact-cache registrar whose compute callables
+# must be pure functions of their cache key.
+DEFAULT_CACHE_REGISTRARS = (
+    "repro.runtime.cache.cached_call",
+    "repro.runtime.cache.cached",
+)
+
+# SIM011: the named-stream derivation whose constant key tuples must be
+# unique per experiment entry point.
+DEFAULT_DERIVE_FUNCTIONS = ("repro.utils.rng.derive",)
+
+
+@dataclass(frozen=True)
+class TreeRules:
+    """Per-tree overlay: ``select``/``ignore`` for paths matching ``pattern``.
+
+    ``pattern`` is a glob tested against the lint-relative posix path
+    and, for absolute invocations, against every suffix starting at a
+    path component (so ``tests/*`` matches ``/repo/tests/x.py`` too).
+    """
+
+    pattern: str
+    select: frozenset[str] = frozenset()
+    ignore: frozenset[str] = frozenset()
+
+    def matches(self, posix_path: str) -> bool:
+        if fnmatch.fnmatch(posix_path, self.pattern):
+            return True
+        return fnmatch.fnmatch(posix_path, f"*/{self.pattern}")
+
 
 @dataclass(frozen=True)
 class LintConfig:
@@ -39,6 +92,9 @@ class LintConfig:
 
     ``select``/``ignore`` are rule-code sets; an empty ``select`` means
     "all registered rules".  CLI flags override the pyproject table.
+    ``root`` is the directory of the pyproject the config came from —
+    relative artifact paths (baseline, producer lock) resolve against
+    it, falling back to the current directory when configless.
     """
 
     select: frozenset[str] = frozenset()
@@ -46,12 +102,46 @@ class LintConfig:
     exclude: tuple[str, ...] = DEFAULT_EXCLUDE
     rng_modules: tuple[str, ...] = DEFAULT_RNG_MODULES
     wallclock_exempt: tuple[str, ...] = DEFAULT_WALLCLOCK_EXEMPT
+    per_tree: tuple[TreeRules, ...] = ()
+    parallel_maps: tuple[str, ...] = DEFAULT_PARALLEL_MAPS
+    shm_factories: tuple[str, ...] = DEFAULT_SHM_FACTORIES
+    cache_registrars: tuple[str, ...] = DEFAULT_CACHE_REGISTRARS
+    derive_functions: tuple[str, ...] = DEFAULT_DERIVE_FUNCTIONS
+    baseline: str = ""
+    producers_lock: str = ""
+    root: Path = field(default_factory=Path.cwd)
 
-    def is_rule_enabled(self, code: str) -> bool:
-        """Apply select/ignore filtering to a rule code."""
-        if self.select and code not in self.select:
+    def is_rule_enabled(self, code: str, posix_path: str | None = None) -> bool:
+        """Apply select/ignore filtering, with per-tree overlays.
+
+        The first matching per-tree table *overlays* the global sets:
+        its ``ignore`` adds to the global ignore, and a non-empty
+        per-tree ``select`` replaces the global one for that tree.
+        """
+        select, ignore = self.select, self.ignore
+        if posix_path is not None:
+            for tree in self.per_tree:
+                if tree.matches(posix_path):
+                    if tree.select:
+                        select = tree.select
+                    ignore = ignore | tree.ignore
+                    break
+        if select and code not in select:
             return False
-        return code not in self.ignore
+        return code not in ignore
+
+    def resolve_path(self, raw: str) -> Path:
+        """Resolve a configured artifact path against the config root."""
+        path = Path(raw)
+        return path if path.is_absolute() else self.root / path
+
+    @property
+    def baseline_path(self) -> Path | None:
+        return self.resolve_path(self.baseline) if self.baseline else None
+
+    @property
+    def producers_lock_path(self) -> Path | None:
+        return self.resolve_path(self.producers_lock) if self.producers_lock else None
 
 
 def find_pyproject(start: Path) -> Path | None:
@@ -72,6 +162,37 @@ def _as_str_tuple(value: Any, key: str) -> tuple[str, ...]:
     ):
         raise TypeError(f"[tool.simlint] {key!r} must be a list of strings")
     return tuple(value)
+
+
+def _as_str(value: Any, key: str) -> str:
+    if not isinstance(value, str):
+        raise TypeError(f"[tool.simlint] {key!r} must be a string")
+    return value
+
+
+def _parse_per_tree(raw: Any) -> tuple[TreeRules, ...]:
+    if raw is None:
+        return ()
+    if not isinstance(raw, dict):
+        raise TypeError("[tool.simlint] 'per-tree' must be a table of tables")
+    trees: list[TreeRules] = []
+    for pattern, table in raw.items():
+        if not isinstance(table, dict):
+            raise TypeError(
+                f"[tool.simlint.per-tree] {pattern!r} must be a table"
+            )
+        trees.append(
+            TreeRules(
+                pattern=str(pattern),
+                select=frozenset(
+                    _as_str_tuple(table.get("select", []), f"per-tree.{pattern}.select")
+                ),
+                ignore=frozenset(
+                    _as_str_tuple(table.get("ignore", []), f"per-tree.{pattern}.ignore")
+                ),
+            )
+        )
+    return tuple(trees)
 
 
 def load_config(
@@ -119,4 +240,22 @@ def load_config(
             table.get("wallclock_exempt", defaults.wallclock_exempt),
             "wallclock_exempt",
         ),
+        per_tree=_parse_per_tree(table.get("per_tree")),
+        parallel_maps=_as_str_tuple(
+            table.get("parallel_maps", defaults.parallel_maps), "parallel_maps"
+        ),
+        shm_factories=_as_str_tuple(
+            table.get("shm_factories", defaults.shm_factories), "shm_factories"
+        ),
+        cache_registrars=_as_str_tuple(
+            table.get("cache_registrars", defaults.cache_registrars),
+            "cache_registrars",
+        ),
+        derive_functions=_as_str_tuple(
+            table.get("derive_functions", defaults.derive_functions),
+            "derive_functions",
+        ),
+        baseline=_as_str(table.get("baseline", ""), "baseline"),
+        producers_lock=_as_str(table.get("producers_lock", ""), "producers_lock"),
+        root=(pyproject.parent if pyproject is not None else Path.cwd()),
     )

@@ -18,9 +18,12 @@ from typing import Iterable, Iterator, Protocol, TypeVar, runtime_checkable
 
 from repro.lint.config import LintConfig
 from repro.lint.diagnostics import Diagnostic
+from repro.lint.index import ProjectIndex
 
 __all__ = [
     "FileContext",
+    "ProjectContext",
+    "ProjectRule",
     "Rule",
     "register_rule",
     "registered_rules",
@@ -63,9 +66,20 @@ class FileContext:
         return False
 
 
+@dataclass
+class ProjectContext:
+    """Everything a project rule may inspect: the phase-1 index plus
+    every successfully parsed file's :class:`FileContext`, keyed by the
+    path string the index uses."""
+
+    index: ProjectIndex
+    config: LintConfig
+    files: dict[str, FileContext] = field(default_factory=dict)
+
+
 @runtime_checkable
 class Rule(Protocol):
-    """The contract every simlint rule satisfies."""
+    """The contract every per-file simlint rule satisfies."""
 
     code: str
     summary: str
@@ -75,7 +89,24 @@ class Rule(Protocol):
         ...  # pragma: no cover - protocol body
 
 
-_REGISTRY: dict[str, Rule] = {}
+@runtime_checkable
+class ProjectRule(Protocol):
+    """A semantic rule running once over the whole project index.
+
+    Project rules see cross-module structure (call graph, symbol
+    table); per-file rules see one tree.  A class satisfies exactly one
+    of the two protocols — ``check`` or ``check_project``.
+    """
+
+    code: str
+    summary: str
+
+    def check_project(self, ctx: ProjectContext) -> Iterator[Diagnostic]:
+        """Yield diagnostics over the indexed project; must not mutate it."""
+        ...  # pragma: no cover - protocol body
+
+
+_REGISTRY: dict[str, Rule | ProjectRule] = {}
 
 R = TypeVar("R")
 
@@ -83,11 +114,13 @@ R = TypeVar("R")
 def register_rule(cls: type[R]) -> type[R]:
     """Class decorator: instantiate and register a rule by its code.
 
-    Raises on duplicate or malformed codes so a bad plug-in rule fails
-    loudly at import time rather than being silently skipped.
+    Accepts per-file rules (``check``) and project rules
+    (``check_project``).  Raises on duplicate or malformed codes so a
+    bad plug-in rule fails loudly at import time rather than being
+    silently skipped.
     """
     instance = cls()
-    if not isinstance(instance, Rule):
+    if not isinstance(instance, (Rule, ProjectRule)):
         raise TypeError(f"{cls.__name__} does not satisfy the Rule protocol")
     if not _CODE_RE.match(instance.code):
         raise ValueError(f"{cls.__name__}.code must look like 'SIM001', got {instance.code!r}")
@@ -97,7 +130,7 @@ def register_rule(cls: type[R]) -> type[R]:
     return cls
 
 
-def registered_rules() -> dict[str, Rule]:
+def registered_rules() -> dict[str, Rule | ProjectRule]:
     """A copy of the registry, keyed and ordered by rule code."""
     return dict(sorted(_REGISTRY.items()))
 

@@ -5,6 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.utils.rng import make_rng
 from repro.analysis.replication import (
     ReplicationSummary,
     replication_table,
@@ -47,7 +48,7 @@ class TestSummarize:
 
 class TestReplicationTable:
     def test_monotone_in_ratio(self):
-        counts = np.random.default_rng(0).integers(1, 50, size=500)
+        counts = make_rng(0).integers(1, 50, size=500)
         rows = replication_table(counts, n_peers=100_000)
         fracs = [f for _, f in rows]
         assert fracs == sorted(fracs)

@@ -20,6 +20,7 @@ from repro.tracegen.catalog import CatalogConfig, MusicCatalog
 from repro.tracegen.gnutella_trace import GnutellaShareTrace, GnutellaTraceConfig
 from repro.tracegen.itunes_trace import ITunesShareTrace, ITunesTraceConfig
 from repro.tracegen.query_trace import QueryWorkload, QueryWorkloadConfig
+from repro.utils.rng import make_rng
 
 
 @pytest.fixture(scope="session", autouse=True)
@@ -123,4 +124,4 @@ def small_flat() -> Topology:
 @pytest.fixture()
 def rng() -> np.random.Generator:
     """A fresh deterministic generator per test."""
-    return np.random.default_rng(1234)
+    return make_rng(1234)

@@ -6,6 +6,7 @@ import numpy as np
 import pytest
 
 from repro.hybrid.selection import MethodSelector, SelectorConfig
+from repro.utils.rng import make_rng
 
 
 class TestSelector:
@@ -73,7 +74,7 @@ class TestConvergenceOnWorkload:
         """GAB's decision layer, fed the real workload, learns what the
         paper concludes: almost always use the structured lookup."""
         sel = MethodSelector(small_workload.config.vocab_size)
-        rng = np.random.default_rng(0)
+        rng = make_rng(0)
         flood_choices_late = 0
         n = 2_000
         for step, qi in enumerate(rng.integers(0, small_workload.n_queries, size=n)):

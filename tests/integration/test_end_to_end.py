@@ -19,6 +19,7 @@ from repro.crawler import crawl_files, crawl_topology, monitor_queries
 from repro.dht import ChordRing, KeywordIndex
 from repro.hybrid import HybridSearch
 from repro.overlay import SharedContentIndex, UnstructuredNetwork, flat_random, two_tier_gnutella
+from repro.utils.rng import make_rng
 
 
 class TestMeasurementPipeline:
@@ -76,7 +77,7 @@ class TestSearchStack:
         """The paper's conclusion, end to end: real query workloads
         rarely resolve within a small-TTL flood."""
         network, _, _ = stack
-        rng = np.random.default_rng(0)
+        rng = make_rng(0)
         n_success = 0
         n = 60
         for qi in rng.integers(0, small_workload.n_queries, size=n):

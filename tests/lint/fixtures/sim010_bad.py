@@ -1,0 +1,31 @@
+"""SIM010 fixtures: live generators crossing the pmap task boundary."""
+
+from repro.runtime.parallel import pmap
+from repro.utils.rng import make_rng
+
+
+def lambda_capture(seed: int):
+    rng = make_rng(seed)
+    return pmap(lambda item, task_rng: item * rng.random(), [1.0, 2.0],
+                seed=seed, key="s010-lambda")
+
+
+def def_capture(seed: int):
+    rng = make_rng(seed)
+
+    def task(item, task_rng):
+        return item + rng.random()
+
+    return pmap(task, [1.0, 2.0], seed=seed, key="s010-def")
+
+
+def direct_pass(seed: int):
+    rng = make_rng(seed)
+    return pmap(rng, [1.0], seed=seed, key="s010-direct")
+
+
+def propagated_capture(seed: int):
+    parent = make_rng(seed)
+    child = parent
+    return pmap(lambda item, task_rng: item * child.random(), [1.0],
+                seed=seed, key="s010-prop")

@@ -1,0 +1,26 @@
+"""SIM010 negatives: tasks that re-derive instead of capturing."""
+
+from repro.runtime.parallel import pmap
+from repro.utils.rng import make_rng
+
+
+def task(item, task_rng):
+    return item * task_rng.random()
+
+
+def uses_worker_rng(seed: int):
+    # The per-task generator arrives as an argument — nothing captured.
+    return pmap(task, [1.0, 2.0], seed=seed, key="s010-ok")
+
+
+def captures_plain_data(seed: int):
+    rng = make_rng(seed)
+    scale = float(rng.random())  # data derived *from* the rng is fine
+    return pmap(lambda item, task_rng: item * scale, [1.0, 2.0],
+                seed=seed, key="s010-ok-data")
+
+
+def pragma_with_reason(seed: int):
+    rng = make_rng(seed)
+    return pmap(lambda item, task_rng: item * rng.random(), [1.0],  # simlint: ignore[SIM010] single-worker smoke path shares the generator on purpose
+                seed=seed, key="s010-pragma")

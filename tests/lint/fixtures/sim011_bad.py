@@ -1,0 +1,17 @@
+"""SIM011 fixtures: colliding constant stream keys under one entry point."""
+
+from repro.runtime.parallel import pmap
+from repro.utils.rng import derive
+
+
+def same_tuple_twice(seed: int):
+    a = derive(seed, "topology", "edges").random(4)
+    b = derive(seed, "topology", "edges").random(4)
+    return a, b
+
+
+def pmap_key_spans_derive(seed: int):
+    warm = derive(seed, "fanout", 0).random(2)
+    results = pmap(lambda item, task_rng: item, [1.0, 2.0],
+                   seed=seed, key="fanout")
+    return warm, results

@@ -1,0 +1,32 @@
+"""SIM011 negatives: distinct keys, distinct seeds, unrelated entry points."""
+
+from repro.utils.rng import derive
+
+
+def distinct_keys(seed: int):
+    a = derive(seed, "topology", "edges").random(4)
+    b = derive(seed, "topology", "weights").random(4)
+    return a, b
+
+
+def distinct_constant_seeds():
+    # Same key tuple, provably different seeds — independent streams.
+    a = derive(3, "x").random(4)
+    b = derive(4, "x").random(4)
+    return a, b
+
+
+def entry_one(seed: int):
+    return derive(seed, "shared-name").random(2)
+
+
+def entry_two(seed: int):
+    # Same key as entry_one, but no call path joins the two functions,
+    # so they never run under the same experiment seed tree.
+    return derive(seed, "shared-name").random(2)
+
+
+def pragma_with_reason(seed: int):
+    a = derive(seed, "repeat").random(2)
+    b = derive(seed, "repeat").random(2)  # simlint: ignore[SIM011] determinism check replays the stream deliberately
+    return a, b

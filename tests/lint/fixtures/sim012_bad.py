@@ -1,0 +1,23 @@
+"""SIM012 fixtures: shared-memory allocations that can leak segments."""
+
+from repro.runtime.shm import SharedTopology
+
+
+def unguarded(topology):
+    share = SharedTopology(topology)
+    spec = share.spec  # an exception here leaks the kernel segment
+    share.close()
+    return spec
+
+
+def never_bound(topology):
+    SharedTopology(topology)  # allocated, unreferenced, unreleasable
+
+
+def gap_before_finally(topology):
+    share = SharedTopology(topology)
+    spec = share.spec  # raises before the try/finally is entered
+    try:
+        return spec
+    finally:
+        share.close()

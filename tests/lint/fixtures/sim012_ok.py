@@ -1,0 +1,37 @@
+"""SIM012 negatives: every allocation shape with a guaranteed release."""
+
+from repro.runtime.shm import SharedTopology
+
+
+def with_statement(topology):
+    with SharedTopology(topology) as share:
+        return share.spec
+
+
+def with_after_assign(topology):
+    share = SharedTopology(topology)
+    with share:
+        return share.spec
+
+
+def immediate_try_finally(topology):
+    share = SharedTopology(topology)
+    try:
+        return share.spec
+    finally:
+        share.close()
+
+
+def ownership_transfer(topology):
+    share = SharedTopology(topology)
+    return share  # the caller now owns the release
+
+
+def handed_to_registry(topology, registry):
+    share = SharedTopology(topology)
+    registry.adopt(share)  # ownership passed to another component
+
+
+def pragma_with_reason(topology):
+    share = SharedTopology(topology)  # simlint: ignore[SIM012] released by the teardown fixture of the enclosing harness
+    return share.spec

@@ -1,0 +1,33 @@
+"""SIM013 fixtures: cached producers whose value depends on hidden state."""
+
+import os
+import time
+
+from repro.runtime.cache import cached_call
+from repro.utils.rng import make_rng
+
+_CALL_LOG = []
+
+
+def _log_and_build(n):
+    _CALL_LOG.append(n)
+    return list(range(n)) + list(_CALL_LOG)
+
+
+def reads_environ(n: int):
+    return cached_call(
+        "env-reader", 1, "d",
+        lambda: int(os.environ.get("SCALE", "1")) * n,
+    )
+
+
+def reads_clock(n: int):
+    return cached_call("clock-reader", 1, "d", lambda: time.time() + n)
+
+
+def fresh_unseeded_rng(n: int):
+    return cached_call("rng-reader", 1, "d", lambda: make_rng().random(n))
+
+
+def reads_mutated_global(n: int):
+    return cached_call("log-reader", 1, "d", lambda: _log_and_build(n))

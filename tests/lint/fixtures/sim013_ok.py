@@ -1,0 +1,36 @@
+"""SIM013 negatives: producers that are pure functions of the cache key."""
+
+from repro.runtime.cache import cached_call
+from repro.utils.rng import derive
+
+_SCALE = 4  # read-only module constant: part of the code, not state
+
+_MEMO = {}
+
+
+def _expensive(n):
+    # Memoization idiom: the global both read and written here is a
+    # value-neutral cache, not an input.
+    if n not in _MEMO:
+        _MEMO[n] = list(range(n))
+    return _MEMO[n]
+
+
+def pure_producer(seed: int, n: int):
+    return cached_call(
+        "pure", 1, "d",
+        lambda: derive(seed, "pure-producer").random(n * _SCALE),
+    )
+
+
+def memoized_producer(n: int):
+    return cached_call("memo", 1, "d", lambda: _expensive(n))
+
+
+def pragma_with_reason(n: int):
+    import os
+
+    return cached_call(  # simlint: ignore[SIM013] artifact embeds the path on purpose and the digest arg covers it
+        "env-blessed", 1, "d",
+        lambda: [os.environ.get("HOME"), n],
+    )

@@ -1,0 +1,114 @@
+"""Baseline mechanics: fingerprints, round-trip, subtraction, CLI flow."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.lint.baseline import (
+    Baseline,
+    apply_baseline,
+    fingerprint,
+    from_findings,
+    load_baseline,
+    write_baseline,
+)
+from repro.lint.cli import main
+from repro.lint.diagnostics import Diagnostic
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def _diag(path="src/a.py", line=1, code="SIM006", message="m") -> Diagnostic:
+    return Diagnostic(path=path, line=line, col=0, code=code, message=message)
+
+
+def test_fingerprint_ignores_line_numbers() -> None:
+    assert fingerprint(_diag(line=1)) == fingerprint(_diag(line=99))
+    assert fingerprint(_diag(code="SIM006")) != fingerprint(_diag(code="SIM001"))
+
+
+def test_round_trip(tmp_path: Path) -> None:
+    findings = [_diag(line=1), _diag(line=2), _diag(code="SIM003")]
+    path = tmp_path / "baseline.json"
+    written = write_baseline(path, findings)
+    assert written.total == 3
+    loaded = load_baseline(path)
+    assert loaded == written
+    # Identical findings are fully absorbed on the next run.
+    result = apply_baseline(findings, loaded)
+    assert result.new == [] and len(result.matched) == 3 and result.stale == []
+
+
+def test_surplus_occurrences_surface_as_new() -> None:
+    baseline = from_findings([_diag(line=1)])
+    result = apply_baseline([_diag(line=1), _diag(line=50)], baseline)
+    assert len(result.matched) == 1
+    assert len(result.new) == 1
+
+
+def test_paid_off_debt_reported_stale() -> None:
+    baseline = from_findings([_diag(), _diag(code="SIM003")])
+    result = apply_baseline([_diag()], baseline)
+    assert result.new == []
+    assert result.stale == [fingerprint(_diag(code="SIM003"))]
+
+
+def test_missing_or_corrupt_baseline_loads_none(tmp_path: Path) -> None:
+    assert load_baseline(tmp_path / "absent.json") is None
+    bad = tmp_path / "bad.json"
+    bad.write_text("{not json")
+    assert load_baseline(bad) is None
+    wrong_schema = tmp_path / "wrong.json"
+    wrong_schema.write_text(json.dumps({"schema": 99, "findings": {}}))
+    assert load_baseline(wrong_schema) is None
+
+
+def test_empty_baseline_absorbs_nothing() -> None:
+    result = apply_baseline([_diag()], Baseline())
+    assert len(result.new) == 1
+
+
+@pytest.fixture()
+def violating_tree(tmp_path: Path) -> tuple[Path, Path]:
+    tree = tmp_path / "proj"
+    tree.mkdir()
+    (tree / "bad.py").write_text("def f(x):\n    return x == 0.5\n")
+    config = tmp_path / "pyproject.toml"
+    config.write_text(
+        "[tool.simlint]\n"
+        'select = ["SIM006"]\n'
+        'baseline = "baseline.json"\n'
+    )
+    return tree, config
+
+
+def test_cli_write_then_enforce_baseline(
+    violating_tree: tuple[Path, Path], capsys: pytest.CaptureFixture[str]
+) -> None:
+    tree, config = violating_tree
+    assert main([str(tree), "--config", str(config), "--write-baseline"]) == 0
+    capsys.readouterr()
+    # Baselined: the same violation no longer fails the build.
+    assert main([str(tree), "--config", str(config)]) == 0
+    out = capsys.readouterr().out
+    assert "1 baselined" in out
+    # A fresh violation still fails.
+    (tree / "worse.py").write_text("y = 2.0\nz = y != 0.25\n")
+    assert main([str(tree), "--config", str(config)]) == 1
+    # --no-baseline reports everything.
+    assert main([str(tree), "--config", str(config), "--no-baseline"]) == 1
+
+
+def test_cli_stale_baseline_warns(
+    violating_tree: tuple[Path, Path], capsys: pytest.CaptureFixture[str]
+) -> None:
+    tree, config = violating_tree
+    assert main([str(tree), "--config", str(config), "--write-baseline"]) == 0
+    (tree / "bad.py").write_text("def f(x):\n    return x > 0.5\n")  # fixed
+    capsys.readouterr()
+    assert main([str(tree), "--config", str(config)]) == 0
+    err = capsys.readouterr().err
+    assert "no longer matches" in err

@@ -11,9 +11,16 @@ from repro.lint.cli import JSON_SCHEMA_VERSION, main
 
 FIXTURES = Path(__file__).parent / "fixtures"
 
+# The repo pyproject's per-tree overlays (tests/* ignores) would apply
+# to fixture paths; the minimal config isolates these tests from policy.
+MINIMAL_CONFIG = Path(__file__).parent / "minimal.toml"
+
 
 def run(*argv: str, capsys: pytest.CaptureFixture[str]) -> tuple[int, str, str]:
-    code = main(list(argv))
+    args = list(argv)
+    if "--list-rules" not in args and "--config" not in args:
+        args += ["--config", str(MINIMAL_CONFIG)]
+    code = main(args)
     captured = capsys.readouterr()
     return code, captured.out, captured.err
 

@@ -5,7 +5,7 @@ from __future__ import annotations
 from pathlib import Path
 
 from repro.lint import Diagnostic, LintConfig, discover_files, lint_file, lint_paths
-from repro.lint.engine import parse_pragmas
+from repro.lint.engine import Pragma, parse_pragmas
 
 FIXTURES = Path(__file__).parent / "fixtures"
 
@@ -22,14 +22,23 @@ def test_pragma_suppresses_only_its_line() -> None:
 
 def test_pragma_only_suppresses_named_codes() -> None:
     src = "x = 1\ny = x == 0.5  # simlint: ignore[SIM001]\n"
-    assert parse_pragmas(src) == {2: frozenset({"SIM001"})}
+    assert parse_pragmas(src) == {2: Pragma(codes=frozenset({"SIM001"}))}
     # SIM006 is not named, so a SIM006 finding on line 2 must survive:
     # exercised indirectly via pragma.py above; here we pin the parser.
 
 
 def test_parse_pragmas_multiple_codes() -> None:
     src = "a = 1  # simlint: ignore[SIM001, SIM006]\n"
-    assert parse_pragmas(src) == {1: frozenset({"SIM001", "SIM006"})}
+    assert parse_pragmas(src) == {
+        1: Pragma(codes=frozenset({"SIM001", "SIM006"}))
+    }
+
+
+def test_parse_pragmas_captures_reason() -> None:
+    src = "seg = alloc()  # simlint: ignore[SIM012] owner outlives workers\n"
+    assert parse_pragmas(src) == {
+        1: Pragma(codes=frozenset({"SIM012"}), reason="owner outlives workers")
+    }
 
 
 def test_select_restricts_rules(tmp_path: Path) -> None:

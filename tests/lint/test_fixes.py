@@ -1,0 +1,158 @@
+"""``--fix`` autofixes: SIM012 with-wrap and SIM014 version bumps."""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+import pytest
+
+from repro.lint import LintConfig, run_lint
+from repro.lint.cli import main
+from repro.lint.fixes import apply_fixes
+from repro.lint.semantic import compute_lock_entries, write_producers_lock
+
+
+def _lint(tree: Path, **config_kwargs):
+    config = LintConfig(root=tree, **config_kwargs)
+    return run_lint([tree], config)
+
+
+def test_sim012_wrap_in_with(tmp_path: Path) -> None:
+    f = tmp_path / "leaky.py"
+    f.write_text(
+        "from repro.runtime.shm import SharedTopology\n"
+        "\n"
+        "def use(topology):\n"
+        "    share = SharedTopology(topology)\n"
+        "    spec = share.spec\n"
+        "    value = spec.n_nodes\n"
+        "    return value\n"
+    )
+    run = _lint(tmp_path, select=frozenset({"SIM012"}))
+    assert len(run.findings) == 1
+    result = apply_fixes(run)
+    assert len(result.fixed) == 1 and not result.skipped
+    fixed = result.new_sources[str(f)]
+    assert "with SharedTopology(topology) as share:" in fixed
+    ast.parse(fixed)  # still valid Python
+    f.write_text(fixed)
+    assert _lint(tmp_path, select=frozenset({"SIM012"})).findings == []
+
+
+def test_sim012_fix_preserves_blank_lines_and_comments(tmp_path: Path) -> None:
+    f = tmp_path / "leaky.py"
+    f.write_text(
+        "from repro.runtime.shm import SharedTopology\n"
+        "\n"
+        "def use(topology):\n"
+        "    share = SharedTopology(topology)\n"
+        "\n"
+        "    # read the spec\n"
+        "    spec = share.spec\n"
+        "    return spec\n"
+    )
+    run = _lint(tmp_path, select=frozenset({"SIM012"}))
+    result = apply_fixes(run)
+    fixed = result.new_sources[str(f)]
+    ast.parse(fixed)
+    assert "        # read the spec" in fixed  # comment moved with the block
+
+
+def test_sim012_multiline_allocation_is_skipped(tmp_path: Path) -> None:
+    f = tmp_path / "leaky.py"
+    f.write_text(
+        "from repro.runtime.shm import SharedTopology\n"
+        "\n"
+        "def use(topology, flag):\n"
+        "    share = SharedTopology(\n"
+        "        topology,\n"
+        "    )\n"
+        "    spec = share.spec\n"
+        "    return spec\n"
+    )
+    run = _lint(tmp_path, select=frozenset({"SIM012"}))
+    assert len(run.findings) == 1
+    result = apply_fixes(run)
+    assert result.new_sources == {}
+    assert result.skipped and "multiple lines" in result.skipped[0][1]
+
+
+@pytest.fixture()
+def bumpable_tree(tmp_path: Path) -> tuple[Path, Path]:
+    tree = tmp_path / "proj"
+    tree.mkdir()
+    (tree / "producer.py").write_text(
+        "from repro.runtime.cache import cached_call\n"
+        "\n"
+        "_VERSION = 1\n"
+        "\n"
+        "def build(n):\n"
+        "    return cached_call('table', _VERSION, 'd', lambda: make(n))\n"
+        "\n"
+        "def inline(n):\n"
+        "    return cached_call('row', 7, 'd', lambda: make(n) + [0])\n"
+        "\n"
+        "def make(n):\n"
+        "    return list(range(n))\n"
+    )
+    pyproject = tmp_path / "pyproject.toml"
+    pyproject.write_text(
+        "[tool.simlint]\n"
+        'select = ["SIM014"]\n'
+        'producers-lock = "producers.lock"\n'
+    )
+    return tree, pyproject
+
+
+def test_sim014_bump_module_constant_and_inline_literal(
+    bumpable_tree: tuple[Path, Path]
+) -> None:
+    tree, pyproject = bumpable_tree
+    lock_path = pyproject.parent / "producers.lock"
+    config = LintConfig(
+        select=frozenset({"SIM014"}), producers_lock=str(lock_path), root=tree
+    )
+    run = run_lint([tree], config)
+    entries, problems = compute_lock_entries(run.project)
+    assert problems == []
+    write_producers_lock(lock_path, entries)
+
+    # Change both producers' reachable code without bumping versions.
+    producer = tree / "producer.py"
+    producer.write_text(producer.read_text().replace("range(n)", "range(n * 2)"))
+    run2 = run_lint([tree], config)
+    assert len(run2.findings) == 2
+    assert all("version stayed" in d.message for d in run2.findings)
+
+    result = apply_fixes(run2)
+    assert len(result.fixed) == 2 and not result.skipped
+    fixed = result.new_sources[str(producer)]
+    assert "_VERSION = 2" in fixed
+    assert "cached_call('row', 8, 'd'" in fixed
+    producer.write_text(fixed)
+
+    # After re-pinning the lock the tree is clean again.
+    run3 = run_lint([tree], config)
+    entries3, _ = compute_lock_entries(run3.project)
+    write_producers_lock(lock_path, entries3)
+    assert run_lint([tree], config).findings == []
+
+
+def test_cli_fix_flow(
+    bumpable_tree: tuple[Path, Path], capsys: pytest.CaptureFixture[str]
+) -> None:
+    tree, pyproject = bumpable_tree
+    assert main([str(tree), "--config", str(pyproject), "--update-lock"]) == 0
+    producer = tree / "producer.py"
+    producer.write_text(producer.read_text().replace("range(n)", "range(n + 3)"))
+    capsys.readouterr()
+    # --fix bumps both versions; exit reflects the re-linted tree (the
+    # bumped versions now disagree with the stale lock, still exit 1).
+    code = main([str(tree), "--config", str(pyproject), "--fix"])
+    out = capsys.readouterr().out
+    assert "fixed:" in out
+    assert "_VERSION = 2" in producer.read_text()
+    assert code == 1  # stale lock remains until --update-lock
+    assert main([str(tree), "--config", str(pyproject), "--update-lock"]) == 0
+    assert main([str(tree), "--config", str(pyproject)]) == 0

@@ -1,0 +1,137 @@
+"""Phase-1 symbol table and call graph on a synthetic mini-package."""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+import pytest
+
+from repro.lint.index import (
+    build_index,
+    import_aliases,
+    load_or_build_index,
+    module_name_for,
+    normalized_digest,
+    source_tree_digest,
+)
+
+
+def _write_pkg(root: Path) -> list[Path]:
+    pkg = root / "mini"
+    sub = pkg / "inner"
+    sub.mkdir(parents=True)
+    (pkg / "__init__.py").write_text("")
+    (sub / "__init__.py").write_text("")
+    (pkg / "alpha.py").write_text(
+        "from mini.inner.beta import helper\n"
+        "from . import inner\n"
+        "\n"
+        "CACHE_VERSION = 3\n"
+        "\n"
+        "def top(n):\n"
+        "    return helper(n) + 1\n"
+        "\n"
+        "class Runner:\n"
+        "    def __init__(self):\n"
+        "        self.state = 0\n"
+        "    def go(self, n):\n"
+        "        return self.step(n)\n"
+        "    def step(self, n):\n"
+        "        return top(n)\n"
+    )
+    (sub / "beta.py").write_text(
+        "def helper(n):\n"
+        "    return leaf(n) * 2\n"
+        "\n"
+        "def leaf(n):\n"
+        "    return n\n"
+        "\n"
+        "def orphan(n):\n"
+        "    return n\n"
+    )
+    return [pkg / "alpha.py", sub / "beta.py", pkg / "__init__.py", sub / "__init__.py"]
+
+
+@pytest.fixture()
+def index(tmp_path: Path):
+    files = _write_pkg(tmp_path)
+    parsed = [(f, ast.parse(f.read_text())) for f in files]
+    return build_index(parsed)
+
+
+def test_module_naming_follows_package_chain(tmp_path: Path) -> None:
+    files = _write_pkg(tmp_path)
+    assert module_name_for(files[0]) == "mini.alpha"
+    assert module_name_for(files[1]) == "mini.inner.beta"
+
+
+def test_functions_and_methods_indexed(index) -> None:
+    assert "mini.alpha.top" in index.functions
+    assert "mini.alpha.Runner.go" in index.functions
+    assert "mini.inner.beta.helper" in index.functions
+    assert "mini.alpha.Runner" in index.classes
+
+
+def test_int_constants_recorded(index) -> None:
+    assert index.modules["mini.alpha"].int_constants["CACHE_VERSION"] == 3
+
+
+def test_cross_module_call_edge_resolved(index) -> None:
+    callees = {site.callee for site in index.callees("mini.alpha.top")}
+    assert "mini.inner.beta.helper" in callees
+
+
+def test_self_method_call_resolved(index) -> None:
+    callees = {site.callee for site in index.callees("mini.alpha.Runner.go")}
+    assert "mini.alpha.Runner.step" in callees
+
+
+def test_reachability_is_transitive(index) -> None:
+    reach = index.reachable_from("mini.alpha.top")
+    assert "mini.inner.beta.helper" in reach
+    assert "mini.inner.beta.leaf" in reach
+    assert "mini.inner.beta.orphan" not in reach
+
+
+def test_ancestors_include_self_and_callers(index) -> None:
+    anc = index.ancestors("mini.inner.beta.leaf")
+    assert "mini.inner.beta.leaf" in anc
+    assert "mini.inner.beta.helper" in anc
+    assert "mini.alpha.top" in anc
+    assert "mini.alpha.Runner.step" in anc
+
+
+def test_relative_import_aliases(tmp_path: Path) -> None:
+    tree = ast.parse("from .beta import helper\nfrom ..alpha import top\n")
+    aliases = import_aliases(tree, package="mini.inner")
+    assert aliases["helper"] == "mini.inner.beta.helper"
+    assert aliases["top"] == "mini.alpha.top"
+
+
+def test_normalized_digest_ignores_docstrings_and_location() -> None:
+    a = ast.parse("def f(n):\n    '''doc one'''\n    return n + 1\n").body[0]
+    b = ast.parse("\n\ndef f(n):\n    '''different doc'''\n    return n + 1\n").body[0]
+    c = ast.parse("def f(n):\n    return n + 2\n").body[0]
+    assert normalized_digest(a) == normalized_digest(b)
+    assert normalized_digest(a) != normalized_digest(c)
+
+
+def test_index_disk_cache_round_trip(tmp_path: Path) -> None:
+    files = _write_pkg(tmp_path)
+    parsed = [(f, ast.parse(f.read_text())) for f in files]
+    cache_dir = tmp_path / "cache"
+    first = load_or_build_index(parsed, cache_dir)
+    assert list(cache_dir.iterdir())  # something was persisted
+    second = load_or_build_index(parsed, cache_dir)
+    assert set(second.functions) == set(first.functions)
+    assert {
+        s.callee for s in second.callees("mini.alpha.top")
+    } == {s.callee for s in first.callees("mini.alpha.top")}
+
+
+def test_source_tree_digest_changes_with_content(tmp_path: Path) -> None:
+    files = _write_pkg(tmp_path)
+    before = source_tree_digest(files)
+    files[0].write_text(files[0].read_text() + "\nEXTRA = 9\n")
+    assert source_tree_digest(files) != before

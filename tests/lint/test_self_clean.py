@@ -1,9 +1,11 @@
-"""Tier-1 guardrail: the src/ tree is simlint-clean, always.
+"""Tier-1 guardrail: the whole repository is simlint-clean, always.
 
 This is the enforcement point for the determinism discipline the
 paper-reproduction figures rest on (see docs/static-analysis.md): a PR
-that slips ``random.random()`` or a wall-clock read into simulation
-code fails here, not in a reviewer's head.
+that slips ``random.random()``, a wall-clock read, a closure-captured
+generator, or a leaked shm segment into the tree fails here, not in a
+reviewer's head.  It also pins the SIM014 contract: the committed
+``lint/producers.lock`` must match the code at HEAD.
 """
 
 from __future__ import annotations
@@ -13,7 +15,9 @@ import subprocess
 import sys
 from pathlib import Path
 
-from repro.lint import find_pyproject, lint_paths, load_config
+from repro.lint import find_pyproject, lint_paths, load_config, run_lint
+from repro.lint.baseline import load_baseline
+from repro.lint.semantic import compute_lock_entries, load_producers_lock
 
 REPO_ROOT = Path(__file__).parents[2]
 SRC = REPO_ROOT / "src"
@@ -30,12 +34,65 @@ def test_src_tree_is_simlint_clean() -> None:
     assert files_checked >= 75  # the whole tree was actually scanned
 
 
+def test_tests_and_benchmarks_trees_are_clean() -> None:
+    config = repo_config()
+    findings, files_checked = lint_paths(
+        [REPO_ROOT / "tests", REPO_ROOT / "benchmarks"], config
+    )
+    pretty = "\n".join(d.format_human() for d in findings)
+    assert not findings, f"simlint violations in tests/benchmarks:\n{pretty}"
+    assert files_checked >= 90
+
+
 def test_benchmarks_are_wallclock_exempt_but_otherwise_checked() -> None:
     config = repo_config()
     findings, files_checked = lint_paths([REPO_ROOT / "benchmarks"], config)
     assert files_checked >= 40
     # Benchmarks measure wall time by design; SIM002 must not fire there.
     assert not [d for d in findings if d.code == "SIM002"]
+
+
+def test_committed_baseline_is_empty() -> None:
+    """The tree is clean today; debt must not silently accumulate."""
+    config = repo_config()
+    baseline_path = config.baseline_path
+    assert baseline_path is not None and baseline_path.is_file()
+    baseline = load_baseline(baseline_path)
+    assert baseline is not None
+    assert baseline.entries == {}, (
+        "simlint-baseline.json gained entries; fix the findings instead "
+        "of baselining them (the file exists for emergency adoption only)"
+    )
+
+
+def test_producers_lock_matches_head() -> None:
+    """Editing cached-producer code requires `repro-lint --update-lock`."""
+    config = repo_config()
+    lock_path = config.producers_lock_path
+    assert lock_path is not None and lock_path.is_file()
+    committed = load_producers_lock(lock_path)
+    assert committed is not None
+    run = run_lint([SRC], config)
+    assert run.project is not None
+    current, problems = compute_lock_entries(run.project)
+    assert problems == []
+    assert current == committed, (
+        "lint/producers.lock is stale relative to src/: run "
+        "`python -m repro.lint src --update-lock` (and bump the producer "
+        "version if the change alters produced values)"
+    )
+
+
+def test_full_repo_analysis_under_five_seconds() -> None:
+    """The two-phase analyzer must stay fast enough for a pre-commit hook."""
+    run = run_lint(
+        [SRC, REPO_ROOT / "tests", REPO_ROOT / "benchmarks"], repo_config()
+    )
+    assert run.files_checked >= 180
+    assert run.total_seconds < 5.0, (
+        f"full-repo lint took {run.total_seconds:.2f}s (budget 5s); "
+        f"index build alone {run.index_build_seconds:.2f}s"
+    )
 
 
 def test_module_invocation_smoke() -> None:
@@ -50,3 +107,16 @@ def test_module_invocation_smoke() -> None:
     )
     assert proc.returncode == 0, proc.stdout + proc.stderr
     assert "clean" in proc.stdout
+
+
+def test_stats_flag_smoke() -> None:
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.lint", "src", "--stats"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        env={**os.environ, "PYTHONPATH": str(SRC)},
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "files indexed" in proc.stderr
+    assert "index build" in proc.stderr

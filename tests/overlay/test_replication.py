@@ -12,6 +12,7 @@ from repro.overlay.replication import (
     allocate_replicas,
     expected_search_size,
 )
+from repro.utils.rng import make_rng
 from repro.utils.zipf import zipf_weights
 
 
@@ -106,7 +107,7 @@ class TestExpectedSearchSize:
         """Replicating by *file* popularity when queries follow a
         mismatched distribution wastes the budget — the paper's point
         transplanted to replication."""
-        rng = np.random.default_rng(0)
+        rng = make_rng(0)
         query_w = zipf_weights(200, 1.0)
         file_w = query_w[rng.permutation(200)]  # mismatched popularity
         n_nodes, budget = 10_000, 2_000

@@ -63,7 +63,7 @@ class TestRoundtrip:
 class TestLifecycle:
     def test_close_unlinks_and_evicts_cache(self):
         topo = two_tier_gnutella(200, seed=9)
-        share = SharedTopology(topo)
+        share = SharedTopology(topo)  # simlint: ignore[SIM012] the test exercises manual close() semantics
         spec = share.spec
         attach_topology(spec)
         share.close()
@@ -73,7 +73,7 @@ class TestLifecycle:
             attach_topology(spec)
 
     def test_close_is_idempotent(self):
-        share = SharedTopology(two_tier_gnutella(200, seed=9))
+        share = SharedTopology(two_tier_gnutella(200, seed=9))  # simlint: ignore[SIM012] the test exercises manual close() semantics
         share.close()
         share.close()
 
@@ -123,7 +123,7 @@ class TestSharedPostings:
                 post.posting_instances[0] = -1
 
     def test_close_unlinks_and_evicts_cache(self, small_content):
-        share = SharedPostings(small_content)
+        share = SharedPostings(small_content)  # simlint: ignore[SIM012] the test exercises manual close() semantics
         spec = share.spec
         attach_postings(spec)
         share.close()
