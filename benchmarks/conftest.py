@@ -13,6 +13,10 @@ end-to-end experiment regenerations, not microbenchmarks.
 
 from __future__ import annotations
 
+import json
+import os
+from pathlib import Path
+
 import pytest
 
 from repro.core.experiment import TraceBundle, build_content_index, build_trace_bundle
@@ -20,6 +24,40 @@ from repro.overlay.content import SharedContentIndex
 from repro.tracegen import presets
 from repro.tracegen.catalog import MusicCatalog
 from repro.tracegen.itunes_trace import ITunesShareTrace
+
+
+def pytest_sessionfinish(session: pytest.Session, exitstatus: int) -> None:
+    """Write the unified ``BENCH_perf.json`` after a benchmark run.
+
+    One artifact joins the pytest-benchmark timing stats with the
+    process metrics registry (cache hit rates, flood message totals,
+    pmap tallies) accumulated while the benches ran, so a perf
+    regression can be attributed — e.g. "mean time doubled *and* the
+    flood cache stopped hitting".  Skipped when no benchmarks ran
+    (plain test sessions never see this hook: ``testpaths`` excludes
+    ``benchmarks/``).  Set ``REPRO_BENCH_OUT`` to change the path.
+    """
+    bench_session = getattr(session.config, "_benchmarksession", None)
+    benchmarks = getattr(bench_session, "benchmarks", None)
+    if not benchmarks:
+        return
+    from repro.obs import metrics
+
+    rows = []
+    for bench in benchmarks:
+        try:
+            row = bench.as_dict(include_data=False, flat=False, stats=True)
+        except (AttributeError, TypeError):  # third-party shape drift
+            row = {"fullname": getattr(bench, "fullname", "?")}
+        rows.append(row)
+    doc = {
+        "schema": "repro-bench/1",
+        "exitstatus": int(exitstatus),
+        "benchmarks": rows,
+        "metrics": metrics().snapshot().as_dict(),
+    }
+    out = Path(os.environ.get("REPRO_BENCH_OUT", "BENCH_perf.json"))
+    out.write_text(json.dumps(doc, indent=2, sort_keys=True))
 
 
 @pytest.fixture(scope="session")

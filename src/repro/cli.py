@@ -11,6 +11,8 @@ user can regenerate any paper artifact without writing code::
     python -m repro mismatch
     python -m repro synopsis
     python -m repro cache info
+    python -m repro fig 8 --metrics metrics.json --workers 2
+    python -m repro stats metrics.json
 """
 
 from __future__ import annotations
@@ -22,6 +24,11 @@ from collections.abc import Callable
 import numpy as np
 
 __all__ = ["main", "build_parser"]
+
+_METRICS_HELP = (
+    "write a repro-metrics/1 JSON manifest (counters, timers, stage "
+    "spans) of this run to the given path; inspect it with 'repro stats'"
+)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -39,6 +46,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the command under cProfile and print the hottest "
         "functions by cumulative time (place before the subcommand)",
     )
+    parser.add_argument("--metrics", default=None, metavar="OUT", help=_METRICS_HELP)
     sub = parser.add_subparsers(dest="command", required=True)
 
     gen = sub.add_parser("gen-trace", help="generate and save a Gnutella share trace")
@@ -84,6 +92,22 @@ def build_parser() -> argparse.ArgumentParser:
         "cache", help="inspect or clear the on-disk artifact cache"
     )
     cache.add_argument("action", choices=("info", "clear"))
+
+    stats = sub.add_parser(
+        "stats", help="render a --metrics manifest written by an earlier run"
+    )
+    stats.add_argument("manifest", help="path to a repro-metrics/1 JSON file")
+
+    # Accept --metrics after the subcommand too (the natural place to
+    # type it).  SUPPRESS keeps a subparser that didn't see the flag
+    # from clobbering the main parser's value with a default.
+    for action in sub.choices.values():
+        action.add_argument(
+            "--metrics",
+            default=argparse.SUPPRESS,
+            metavar="OUT",
+            help=_METRICS_HELP,
+        )
     return parser
 
 
@@ -377,7 +401,7 @@ def _cmd_export(args: argparse.Namespace) -> int:
 
 
 def _cmd_cache(args: argparse.Namespace) -> int:
-    from repro.core.reporting import format_table
+    from repro.core.reporting import format_bytes, format_table
     from repro.runtime.cache import cache_info, clear_cache
 
     if args.action == "clear":
@@ -389,11 +413,77 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         ("path", info.path),
         ("enabled", "yes" if info.enabled else "no (REPRO_CACHE=off)"),
         ("entries", f"{info.n_entries:,}"),
-        ("size", f"{info.total_bytes / 1e6:.1f} MB"),
+        ("size", format_bytes(info.total_bytes)),
     ]
     for name, count in sorted(info.sections.items()):
         rows.append((f"  {name}", f"{count:,} entr{'y' if count == 1 else 'ies'}"))
     print(format_table(["key", "value"], rows, title="Artifact cache"))
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.core.reporting import format_table
+    from repro.obs import load_manifest
+
+    try:
+        doc = load_manifest(args.manifest)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    header = f"Run metrics: repro {' '.join(doc['argv'])} (exit {doc['exit_code']})"
+    counters = doc["metrics"]["counters"]
+    gauges = doc["metrics"]["gauges"]
+    timers = doc["metrics"]["timers"]
+    sections: list[str] = []
+    if counters:
+        sections.append(
+            format_table(
+                ["counter", "value"],
+                [(name, f"{value:,}") for name, value in sorted(counters.items())],
+                title="Counters",
+            )
+        )
+    if gauges:
+        sections.append(
+            format_table(
+                ["gauge", "value"],
+                [(name, f"{value:g}") for name, value in sorted(gauges.items())],
+                title="Gauges",
+            )
+        )
+    if timers:
+        sections.append(
+            format_table(
+                ["timer", "count", "total", "mean"],
+                [
+                    (
+                        name,
+                        f"{t['count']:,}",
+                        f"{t['total_s']:.3f}s",
+                        f"{t['mean_s'] * 1e3:.2f}ms",
+                    )
+                    for name, t in sorted(timers.items())
+                ],
+                title="Timers",
+            )
+        )
+    # Headline derived rate: queries/sec of the batched engine.
+    batch_q = counters.get("batch.queries", 0)
+    batch_t = timers.get("batch.evaluate", {}).get("total_s", 0.0)
+    if batch_q and batch_t > 0:
+        sections.append(f"batch throughput: {batch_q / batch_t:,.0f} queries/sec")
+    if doc["spans"]:
+        sections.append(
+            format_table(
+                ["stage", "duration"],
+                [
+                    ("  " * s["depth"] + s["name"], f"{s['duration_s'] * 1e3:.1f}ms")
+                    for s in doc["spans"]
+                ],
+                title="Stages",
+            )
+        )
+    print("\n\n".join([header, *sections]))
     return 0
 
 
@@ -411,6 +501,7 @@ _COMMANDS = {
     "workload": _cmd_workload,
     "calibrate": _cmd_calibrate,
     "cache": _cmd_cache,
+    "stats": _cmd_stats,
 }
 
 
@@ -431,12 +522,47 @@ def _run_profiled(
 
 
 def main(argv: list[str] | None = None) -> int:
-    """CLI entry point; returns a process exit code."""
+    """CLI entry point; returns a process exit code.
+
+    With ``--metrics OUT`` the whole command runs inside a
+    ``cli.<command>`` span with the ``cli.command`` timer, and the
+    metrics registry + span trace are written to ``OUT`` as a
+    ``repro-metrics/1`` manifest afterwards.  Instrumentation is
+    observational only: command output and figure values are bitwise
+    identical with and without the flag.
+    """
     args = build_parser().parse_args(argv)
     command = _COMMANDS[args.command]
-    if args.profile:
-        return _run_profiled(command, args)
-    return command(args)
+    metrics_out = getattr(args, "metrics", None)
+    if metrics_out is None:
+        if args.profile:
+            return _run_profiled(command, args)
+        return command(args)
+
+    from repro.obs import build_manifest, metrics, span, write_manifest
+
+    registry = metrics()
+    code = 1
+    try:
+        with registry.timer("cli.command"), span(f"cli.{args.command}"):
+            if args.profile:
+                code = _run_profiled(command, args)
+            else:
+                code = command(args)
+    finally:
+        from repro.obs import completed_spans
+
+        doc = build_manifest(
+            command=args.command,
+            argv=list(argv) if argv is not None else sys.argv[1:],
+            snapshot=registry.snapshot(),
+            spans=completed_spans(),
+            exit_code=code,
+            seed=getattr(args, "seed", None),
+        )
+        out = write_manifest(metrics_out, doc)
+        print(f"wrote metrics manifest {out}", file=sys.stderr)
+    return code
 
 
 if __name__ == "__main__":  # pragma: no cover

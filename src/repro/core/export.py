@@ -14,6 +14,8 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.obs import span
+
 __all__ = ["write_csv", "export_all"]
 
 
@@ -46,16 +48,18 @@ def export_all(out_dir: str | Path, *, seed: int = 0, quick: bool = True) -> dic
     n_eval = 60 if quick else 200
     manifest: dict = {"seed": seed, "quick": quick}
 
-    bundle = build_trace_bundle()
-    content = SharedContentIndex(bundle.trace)
+    with span("export.trace"):
+        bundle = build_trace_bundle()
+        content = SharedContentIndex(bundle.trace)
 
     # FIG1: replica CCDF.
-    counts = bundle.trace.replica_counts()
-    live = counts[counts > 0]
-    x, p = ccdf(live)
-    write_csv(out / "fig1_replica_ccdf.csv", ["replicas", "p_at_least"],
-              list(zip(x.tolist(), p.tolist())))
-    summary = summarize_replication(live, bundle.trace.n_peers)
+    with span("export.fig1"):
+        counts = bundle.trace.replica_counts()
+        live = counts[counts > 0]
+        x, p = ccdf(live)
+        write_csv(out / "fig1_replica_ccdf.csv", ["replicas", "p_at_least"],
+                  list(zip(x.tolist(), p.tolist())))
+        summary = summarize_replication(live, bundle.trace.n_peers)
     manifest["fig1"] = {
         "singleton_fraction": summary.singleton_fraction,
         "mean_replicas": summary.mean_replicas,
@@ -63,13 +67,15 @@ def export_all(out_dir: str | Path, *, seed: int = 0, quick: bool = True) -> dic
     }
 
     # FIG3: term CCDF.
-    term_counts = content.term_peer_counts()
-    tx, tp = ccdf(term_counts[term_counts > 0])
-    write_csv(out / "fig3_term_ccdf.csv", ["peers_with_term", "p_at_least"],
-              list(zip(tx.tolist(), tp.tolist())))
+    with span("export.fig3"):
+        term_counts = content.term_peer_counts()
+        tx, tp = ccdf(term_counts[term_counts > 0])
+        write_csv(out / "fig3_term_ccdf.csv", ["peers_with_term", "p_at_least"],
+                  list(zip(tx.tolist(), tp.tolist())))
 
     # FIG5-7: mismatch pipeline series.
-    report = run_mismatch_analysis(bundle, content=content)
+    with span("export.mismatch"):
+        report = run_mismatch_analysis(bundle, content=content)
     for interval_s, series in report.transient_counts.items():
         write_csv(
             out / f"fig5_transients_{int(interval_s)}s.csv",
@@ -90,7 +96,8 @@ def export_all(out_dir: str | Path, *, seed: int = 0, quick: bool = True) -> dic
     manifest["fig7_max_similarity"] = report.max_file_similarity
 
     # FIG8: all success curves.
-    fig8 = run_fig8(FloodSimConfig(n_eval_objects=n_eval, seed=seed))
+    with span("export.fig8"):
+        fig8 = run_fig8(FloodSimConfig(n_eval_objects=n_eval, seed=seed))
     rows = []
     for i, ttl in enumerate(fig8.curves[0].ttls):
         rows.append(tuple([ttl] + [float(c.success[i]) for c in fig8.curves]))
@@ -102,14 +109,16 @@ def export_all(out_dir: str | Path, *, seed: int = 0, quick: bool = True) -> dic
     manifest["fig8_zipf_ttl3"] = float(fig8.curve("Zipf").success[2])
 
     # T-REACH and T-HYBRID.
-    reach = measure_reach(ReachConfig(n_sources=20 if quick else 50, seed=seed))
-    write_csv(
-        out / "table_reach.csv",
-        ["ttl", "fraction", "nodes"],
-        reach.as_rows(),
-    )
-    hybrid = evaluate_hybrid(HybridEvalConfig(n_eval_objects=n_eval, seed=seed))
-    write_csv(out / "table_hybrid.csv", ["metric", "value"], hybrid.as_rows())
+    with span("export.reach"):
+        reach = measure_reach(ReachConfig(n_sources=20 if quick else 50, seed=seed))
+        write_csv(
+            out / "table_reach.csv",
+            ["ttl", "fraction", "nodes"],
+            reach.as_rows(),
+        )
+    with span("export.hybrid"):
+        hybrid = evaluate_hybrid(HybridEvalConfig(n_eval_objects=n_eval, seed=seed))
+        write_csv(out / "table_hybrid.csv", ["metric", "value"], hybrid.as_rows())
     manifest["hybrid_overhead"] = hybrid.hybrid_overhead
     manifest["flood_success_ttl3"] = hybrid.flood_success
 

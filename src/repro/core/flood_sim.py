@@ -23,6 +23,7 @@ from functools import partial
 import numpy as np
 
 from repro.core.experiment import Fig8TopologyConfig, build_fig8_topology
+from repro.obs import span
 from repro.overlay.flooding import flood_depths
 from repro.overlay.topology import Topology
 from repro.runtime.cache import cached_call, config_digest
@@ -198,17 +199,16 @@ def _sample_objects(
 
 def _profile_task(
     replicas: np.ndarray,
-    rng: np.random.Generator,
     *,
     spec: SharedTopologySpec,
     max_ttl: int,
 ) -> np.ndarray:
     """Worker task: one multi-source BFS against the shared topology.
 
-    The flood is a pure function of the (pre-drawn) replica set, so
-    the task-private ``rng`` that ``pmap`` supplies goes unused — the
+    The flood is a pure function of the (pre-drawn) replica set — the
     replica placement randomness stays on the coordinator's stream,
-    which is what makes serial and parallel runs bitwise-identical.
+    which is what makes serial and parallel runs bitwise-identical —
+    so the task runs with ``needs_rng=False``.
     """
     return _success_profile(attach_topology(spec), replicas, max_ttl)
 
@@ -254,6 +254,7 @@ def run_flood_success(
                 seed=seed,
                 key=f"floodsim-bfs/{spec.label()}",
                 n_workers=n_workers,
+                needs_rng=False,
             )
         finally:
             if shared is None:
@@ -307,6 +308,7 @@ def run_fig8(config: FloodSimConfig | None = None) -> FloodSimResult:
     """
     cfg = config or FloodSimConfig()
     digest = config_digest(cfg, exclude=("n_workers",))
-    return cached_call(
-        "fig8-result", _FIG8_CACHE_VERSION, digest, lambda: _run_fig8_uncached(cfg)
-    )
+    with span("fig8.run", n_eval_objects=cfg.n_eval_objects, workers=cfg.n_workers):
+        return cached_call(
+            "fig8-result", _FIG8_CACHE_VERSION, digest, lambda: _run_fig8_uncached(cfg)
+        )

@@ -6,12 +6,32 @@ from collections.abc import Sequence
 
 import numpy as np
 
-__all__ = ["format_table", "format_series", "format_percent"]
+__all__ = ["format_table", "format_series", "format_percent", "format_bytes"]
 
 
 def format_percent(x: float, digits: int = 2) -> str:
     """``0.0532`` -> ``"5.32%"``."""
     return f"{100.0 * x:.{digits}f}%"
+
+
+def format_bytes(n: int | float) -> str:
+    """Human-readable size in binary units: ``1536`` -> ``"1.5 KiB"``.
+
+    The repository convention is binary units with IEC suffixes
+    everywhere sizes are reported (cache inventories, shm segments);
+    decimal "MB" labels over ``/ 1e6`` arithmetic are a lint-by-review
+    bug this helper exists to prevent.
+    """
+    size = float(n)
+    if size < 0:
+        raise ValueError(f"byte count must be non-negative, got {n}")
+    for unit in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if size < 1024.0 or unit == "TiB":
+            if unit == "B":
+                return f"{int(size)} B"
+            return f"{size:.1f} {unit}"
+        size /= 1024.0
+    raise AssertionError("unreachable")
 
 
 def format_table(

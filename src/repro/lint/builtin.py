@@ -1,4 +1,4 @@
-"""The built-in simlint rules (SIM001-SIM007).
+"""The built-in simlint rules (SIM001-SIM008).
 
 These encode the invariants the reproduction's statistical claims rest
 on — chiefly the seed-determinism discipline of
@@ -25,6 +25,7 @@ __all__ = [
     "DunderAllRule",
     "FloatEqualityRule",
     "SeedParameterRule",
+    "PrintDisciplineRule",
 ]
 
 # Shared syntactic helpers live in repro.lint.index (the phase-1 symbol
@@ -546,4 +547,47 @@ class SeedParameterRule:
                     f"public function {func.name}() consumes randomness but "
                     "has no seed/rng parameter; determinism must be "
                     "caller-controlled",
+                )
+
+
+@register_rule
+class PrintDisciplineRule:
+    """SIM008 — library code logs; only CLI/reporting modules print.
+
+    stdout is command output: tables, CSV, JSON that scripts pipe
+    elsewhere.  A ``print()`` buried in a library module corrupts that
+    stream and is invisible to log-level control, so diagnostics must
+    go through :mod:`repro.obs.log` instead.  Modules whose *job* is
+    console output (the ``print_allowed`` globs — CLI entry points and
+    the reporting helpers) are exempt, as are explicit
+    ``print(..., file=sys.stderr)`` calls, which already stay off
+    stdout.
+    """
+
+    code = "SIM008"
+    summary = "bare print() outside CLI/reporting modules; use repro.obs.log"
+
+    @staticmethod
+    def _prints_to_stderr(node: ast.Call) -> bool:
+        for kw in node.keywords:
+            if kw.arg == "file":
+                chain = _dotted_name(kw.value)
+                return chain != "sys.stdout"
+        return False
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        if ctx.matches_any(ctx.config.print_allowed):
+            return
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "print"
+                and not self._prints_to_stderr(node)
+            ):
+                yield _diag(
+                    ctx, node, self.code,
+                    "bare print() writes diagnostics to stdout, which is "
+                    "reserved for command output; use "
+                    "repro.obs.log.get_logger(__name__) instead",
                 )

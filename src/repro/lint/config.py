@@ -34,8 +34,14 @@ __all__ = ["LintConfig", "TreeRules", "load_config", "find_pyproject"]
 DEFAULT_RNG_MODULES = ("repro/utils/rng.py",)
 
 # Paths where wall-clock reads are legitimate (SIM002): benchmarks time
-# themselves, and the lint package itself never runs inside a simulation.
-DEFAULT_WALLCLOCK_EXEMPT = ("benchmarks/*", "*/benchmarks/*")
+# themselves, and the observability package exists to measure durations
+# (its outputs are observational only and never feed simulation state).
+DEFAULT_WALLCLOCK_EXEMPT = (
+    "benchmarks/*",
+    "*/benchmarks/*",
+    "repro/obs/*",
+    "*/repro/obs/*",
+)
 
 DEFAULT_EXCLUDE = ("*/.git/*", "*/__pycache__/*", "*/build/*", "*/dist/*")
 
@@ -65,6 +71,20 @@ DEFAULT_CACHE_REGISTRARS = (
 # SIM011: the named-stream derivation whose constant key tuples must be
 # unique per experiment entry point.
 DEFAULT_DERIVE_FUNCTIONS = ("repro.utils.rng.derive",)
+
+# SIM008: modules where bare print() is the job — CLI entry points and
+# console reporting.  Everything else must use repro.obs.log.
+DEFAULT_PRINT_ALLOWED = (
+    "*/cli.py",
+    "*/__main__.py",
+    "*/reporting.py",
+)
+
+# SIM013: observational-only modules.  Functions defined in these
+# modules record metrics/spans/logs and are excluded from cache-purity
+# reachability — by contract nothing they compute may flow back into a
+# cached value.
+DEFAULT_OBS_MODULES = ("repro.obs",)
 
 
 @dataclass(frozen=True)
@@ -107,6 +127,8 @@ class LintConfig:
     shm_factories: tuple[str, ...] = DEFAULT_SHM_FACTORIES
     cache_registrars: tuple[str, ...] = DEFAULT_CACHE_REGISTRARS
     derive_functions: tuple[str, ...] = DEFAULT_DERIVE_FUNCTIONS
+    print_allowed: tuple[str, ...] = DEFAULT_PRINT_ALLOWED
+    obs_modules: tuple[str, ...] = DEFAULT_OBS_MODULES
     baseline: str = ""
     producers_lock: str = ""
     root: Path = field(default_factory=Path.cwd)
@@ -254,6 +276,12 @@ def load_config(
         derive_functions=_as_str_tuple(
             table.get("derive_functions", defaults.derive_functions),
             "derive_functions",
+        ),
+        print_allowed=_as_str_tuple(
+            table.get("print_allowed", defaults.print_allowed), "print_allowed"
+        ),
+        obs_modules=_as_str_tuple(
+            table.get("obs_modules", defaults.obs_modules), "obs_modules"
         ),
         baseline=_as_str(table.get("baseline", ""), "baseline"),
         producers_lock=_as_str(table.get("producers_lock", ""), "producers_lock"),

@@ -475,12 +475,25 @@ def _compute_reachable(
     REPRO_CACHE knobs to decide *whether* to cache, which never changes
     the produced value, and hashing it into SIM014 digests would flag
     every producer whenever the cache plumbing is refactored.
+
+    Observational modules (``obs_modules``, e.g. ``repro.obs``) are
+    likewise excluded: they time and count what producers do without
+    ever feeding a value back, so their clock reads and registry
+    updates are not impurities of the producer, and refactoring the
+    instrumentation must not churn SIM014 digests.
     """
     if producer.compute_node is None:
         return []
     trusted_modules = {
         registrar.rsplit(".", 1)[0] for registrar in ctx.config.cache_registrars
     }
+    obs_prefixes = tuple(ctx.config.obs_modules)
+
+    def is_observational(module: str) -> bool:
+        return any(
+            module == prefix or module.startswith(prefix + ".")
+            for prefix in obs_prefixes
+        )
     roots: set[str] = set()
     for node in ast.walk(producer.compute_node):
         if not isinstance(node, ast.Call):
@@ -500,6 +513,7 @@ def _compute_reachable(
         for q in sorted(reachable)
         if q in ctx.index.functions
         and ctx.index.functions[q].module not in trusted_modules
+        and not is_observational(ctx.index.functions[q].module)
     ]
 
 

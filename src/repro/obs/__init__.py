@@ -1,0 +1,55 @@
+"""Observability: metrics registry, span tracing, structured logging.
+
+Everything in this package is *observational only* — it records what a
+run did (counters, durations, stage spans, log lines) without ever
+feeding back into simulation results, RNG streams, or artifact-cache
+keys.  simlint knows this package by name (``obs-modules`` in
+``[tool.simlint]``) and excludes it from SIM013 cache-purity
+reachability; the flip side of that trust is the hard rule that no
+value produced here may influence a cached computation.
+
+Public surface:
+
+* :func:`metrics` — the process-local :class:`MetricsRegistry`
+  (counters / gauges / timers).
+* :func:`span` — context manager tracing one pipeline stage.
+* :func:`get_logger` / :func:`log_event` — stderr logging for library
+  modules (stdout is reserved for command output; SIM008 enforces it).
+* :mod:`repro.obs.manifest` — the ``--metrics`` JSON document.
+"""
+
+from repro.obs.log import get_logger, log_event
+from repro.obs.manifest import (
+    SCHEMA,
+    build_manifest,
+    load_manifest,
+    validate_manifest,
+    write_manifest,
+)
+from repro.obs.metrics import (
+    MetricsRegistry,
+    MetricsSnapshot,
+    Timer,
+    TimerSnapshot,
+    metrics,
+)
+from repro.obs.trace import SpanRecord, completed_spans, reset_spans, span
+
+__all__ = [
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "Timer",
+    "TimerSnapshot",
+    "metrics",
+    "SpanRecord",
+    "span",
+    "completed_spans",
+    "reset_spans",
+    "get_logger",
+    "log_event",
+    "SCHEMA",
+    "build_manifest",
+    "write_manifest",
+    "load_manifest",
+    "validate_manifest",
+]

@@ -1,0 +1,104 @@
+"""Structured logging for library modules.
+
+Library code must log, not ``print()``: stdout belongs to command
+output (tables, CSV, JSON that scripts pipe elsewhere), so diagnostics
+go to stderr through the standard :mod:`logging` machinery.  simlint
+rule SIM008 enforces the split — bare ``print()`` calls are rejected
+outside the CLI/reporting modules.
+
+Conventions:
+
+* Get a logger with ``log = get_logger(__name__)`` at module scope.
+* Default level is WARNING; set ``REPRO_LOG=debug|info|warning|error``
+  to change it for a run.  The variable is read once, at first logger
+  creation.
+* For machine-greppable events use :func:`log_event`, which formats
+  ``key=value`` pairs deterministically (sorted keys)::
+
+      log_event(log, "cache.corrupt", path=str(entry), error=exc)
+      # -> "cache.corrupt error=... path=..."
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import sys
+
+__all__ = ["get_logger", "log_event"]
+
+_ROOT_NAME = "repro"
+_CONFIGURED = False
+
+_LEVELS = {
+    "debug": logging.DEBUG,
+    "info": logging.INFO,
+    "warning": logging.WARNING,
+    "error": logging.ERROR,
+}
+
+
+class _LazyStderrHandler(logging.StreamHandler):
+    """Stream handler that resolves ``sys.stderr`` at emit time.
+
+    Binding the stream lazily means redirections of ``sys.stderr``
+    (contextlib.redirect_stderr, test harness capture) see the log
+    output, instead of it escaping to the stream that existed when the
+    first logger was created.
+    """
+
+    def __init__(self) -> None:
+        super().__init__(sys.stderr)
+
+    @property
+    def stream(self):  # type: ignore[override]
+        return sys.stderr
+
+    @stream.setter
+    def stream(self, value) -> None:  # pragma: no cover - API compat
+        pass
+
+
+def _configure_root() -> None:
+    """Attach one stderr handler to the ``repro`` root logger, once."""
+    global _CONFIGURED
+    if _CONFIGURED:
+        return
+    root = logging.getLogger(_ROOT_NAME)
+    if not root.handlers:
+        handler = _LazyStderrHandler()
+        handler.setFormatter(
+            logging.Formatter("%(levelname)s %(name)s: %(message)s")
+        )
+        root.addHandler(handler)
+    level_name = os.environ.get("REPRO_LOG", "").strip().lower()
+    root.setLevel(_LEVELS.get(level_name, logging.WARNING))
+    _CONFIGURED = True
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A logger under the ``repro`` hierarchy with the shared handler.
+
+    ``name`` is normally ``__name__``; dotted names outside the
+    ``repro`` prefix are nested under it so every library logger
+    shares the one stderr handler and the ``REPRO_LOG`` level.
+    """
+    _configure_root()
+    if name == _ROOT_NAME or name.startswith(_ROOT_NAME + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_ROOT_NAME}.{name}")
+
+
+def log_event(
+    log: logging.Logger,
+    event: str,
+    *,
+    level: int = logging.WARNING,
+    **fields: object,
+) -> None:
+    """Log ``event`` with deterministic ``key=value`` structured fields."""
+    if not log.isEnabledFor(level):
+        return
+    parts = [event]
+    parts.extend(f"{key}={fields[key]!r}" for key in sorted(fields))
+    log.log(level, " ".join(parts))

@@ -1,0 +1,140 @@
+"""Metrics run manifests: the ``--metrics <out.json>`` document.
+
+Mirrors the run-manifest shape of :func:`repro.core.export.export_all`
+(a flat JSON object with identifying scalars at the top) and adds the
+observability payload: the metrics-registry snapshot and the span
+trace.  Schema::
+
+    {
+      "schema": "repro-metrics/1",
+      "command": "fig",            # repro subcommand that ran
+      "argv": ["fig", "8", ...],   # CLI argv after the program name
+      "seed": 0,                   # present when the command takes one
+      "exit_code": 0,
+      "metrics": {
+        "counters": {"flood.messages": 123, ...},
+        "gauges":   {"pmap.workers": 2.0, ...},
+        "timers":   {"cli.command": {"count": 1, "total_s": ...,
+                      "min_s": ..., "max_s": ..., "mean_s": ...}, ...}
+      },
+      "spans": [{"name": ..., "duration_s": ..., "depth": ...}, ...]
+    }
+
+:func:`validate_manifest` is the schema check used by tests and by
+``repro stats`` when reading a manifest back.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.obs.metrics import MetricsSnapshot
+from repro.obs.trace import SpanRecord
+
+__all__ = [
+    "SCHEMA",
+    "build_manifest",
+    "write_manifest",
+    "load_manifest",
+    "validate_manifest",
+]
+
+SCHEMA = "repro-metrics/1"
+
+
+def build_manifest(
+    *,
+    command: str,
+    argv: list[str],
+    snapshot: MetricsSnapshot,
+    spans: list[SpanRecord],
+    exit_code: int = 0,
+    seed: int | None = None,
+) -> dict:
+    """Assemble the manifest document for one CLI run."""
+    doc: dict = {
+        "schema": SCHEMA,
+        "command": command,
+        "argv": list(argv),
+        "exit_code": exit_code,
+    }
+    if seed is not None:
+        doc["seed"] = seed
+    doc["metrics"] = snapshot.as_dict()
+    doc["spans"] = [s.as_dict() for s in spans]
+    return doc
+
+
+def write_manifest(path: str | Path, doc: dict) -> Path:
+    """Write a manifest to ``path`` (parents created as needed)."""
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(doc, indent=2, sort_keys=False) + "\n")
+    return out
+
+
+def load_manifest(path: str | Path) -> dict:
+    """Read and validate a manifest; raises ``ValueError`` when invalid."""
+    doc = json.loads(Path(path).read_text())
+    problems = validate_manifest(doc)
+    if problems:
+        raise ValueError(
+            f"{path}: not a valid {SCHEMA} manifest: " + "; ".join(problems)
+        )
+    return doc
+
+
+def validate_manifest(doc: object) -> list[str]:
+    """Structural schema check; returns a list of problems (empty = valid)."""
+    problems: list[str] = []
+    if not isinstance(doc, dict):
+        return ["document is not a JSON object"]
+    if doc.get("schema") != SCHEMA:
+        problems.append(f"schema is {doc.get('schema')!r}, expected {SCHEMA!r}")
+    if not isinstance(doc.get("command"), str):
+        problems.append("command must be a string")
+    if not isinstance(doc.get("argv"), list):
+        problems.append("argv must be a list")
+    if not isinstance(doc.get("exit_code"), int):
+        problems.append("exit_code must be an integer")
+
+    metrics = doc.get("metrics")
+    if not isinstance(metrics, dict):
+        problems.append("metrics must be an object")
+    else:
+        counters = metrics.get("counters")
+        if not isinstance(counters, dict) or not all(
+            isinstance(v, int) for v in counters.values()
+        ):
+            problems.append("metrics.counters must map names to integers")
+        gauges = metrics.get("gauges")
+        if not isinstance(gauges, dict) or not all(
+            isinstance(v, (int, float)) for v in gauges.values()
+        ):
+            problems.append("metrics.gauges must map names to numbers")
+        timers = metrics.get("timers")
+        if not isinstance(timers, dict):
+            problems.append("metrics.timers must be an object")
+        else:
+            for name, timer in timers.items():
+                if not isinstance(timer, dict) or not {
+                    "count",
+                    "total_s",
+                    "min_s",
+                    "max_s",
+                }.issubset(timer):
+                    problems.append(f"metrics.timers[{name!r}] missing stats")
+
+    spans = doc.get("spans")
+    if not isinstance(spans, list):
+        problems.append("spans must be a list")
+    else:
+        for i, record in enumerate(spans):
+            if not isinstance(record, dict) or not {
+                "name",
+                "duration_s",
+                "depth",
+            }.issubset(record):
+                problems.append(f"spans[{i}] missing name/duration_s/depth")
+    return problems

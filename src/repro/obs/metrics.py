@@ -1,0 +1,234 @@
+"""Process-local metrics registry: counters, gauges, and timers.
+
+Instrumentation for the runtime/overlay hot paths — flood BFS counts,
+cache hit rates, ``pmap`` fan-out cost — collected into one in-process
+:class:`MetricsRegistry` and surfaced as a run manifest (see
+:mod:`repro.obs.manifest`) or the ``repro stats`` CLI.
+
+Design constraints, in force everywhere this module is used:
+
+* **Observational only.**  Nothing recorded here may flow back into a
+  simulation result, an RNG stream, or an artifact-cache key: a run
+  with instrumentation produces bitwise-identical outputs to one
+  without.  Counters and gauges are plain dict updates; only
+  :meth:`MetricsRegistry.timer` reads the monotonic clock, and timer
+  calls stay *out* of cached producers (simlint SIM013 treats
+  ``repro.obs`` as trusted-observational, but the wall clock must
+  still never shape a cached value).
+* **Process-local.**  Each worker process accumulates into its own
+  registry; :func:`repro.runtime.parallel.pmap` snapshots the
+  per-task delta worker-side and merges it back into the
+  coordinator's registry, so parallel runs report the same totals a
+  serial run would.
+* **Cheap.**  A counter increment is one dict ``get``/store — safe in
+  per-call (not per-element) positions of kernels like
+  ``flood_depths``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Iterator
+
+__all__ = [
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "Timer",
+    "TimerSnapshot",
+    "metrics",
+]
+
+
+@dataclass(frozen=True)
+class TimerSnapshot:
+    """Immutable summary of one timer: count plus duration statistics."""
+
+    count: int
+    total_s: float
+    min_s: float
+    max_s: float
+
+    @property
+    def mean_s(self) -> float:
+        """Mean duration per observation (0 when never observed)."""
+        return self.total_s / self.count if self.count else 0.0
+
+    def merged(self, other: "TimerSnapshot") -> "TimerSnapshot":
+        """Combine two summaries of disjoint observation sets."""
+        if not other.count:
+            return self
+        if not self.count:
+            return other
+        return TimerSnapshot(
+            count=self.count + other.count,
+            total_s=self.total_s + other.total_s,
+            min_s=min(self.min_s, other.min_s),
+            max_s=max(self.max_s, other.max_s),
+        )
+
+
+@dataclass(frozen=True)
+class MetricsSnapshot:
+    """Picklable point-in-time copy of a registry (or a delta of one).
+
+    ``pmap`` workers ship these across the process boundary; the
+    coordinator folds them back in via :meth:`MetricsRegistry.merge`.
+    """
+
+    counters: dict[str, int] = field(default_factory=dict)
+    gauges: dict[str, float] = field(default_factory=dict)
+    timers: dict[str, TimerSnapshot] = field(default_factory=dict)
+
+    def counter(self, name: str) -> int:
+        """Counter value (0 when never incremented)."""
+        return self.counters.get(name, 0)
+
+    def as_dict(self) -> dict:
+        """JSON-ready form (the ``--metrics`` manifest embeds this)."""
+        return {
+            "counters": dict(sorted(self.counters.items())),
+            "gauges": dict(sorted(self.gauges.items())),
+            "timers": {
+                name: {
+                    "count": t.count,
+                    "total_s": t.total_s,
+                    "min_s": t.min_s,
+                    "max_s": t.max_s,
+                    "mean_s": t.mean_s,
+                }
+                for name, t in sorted(self.timers.items())
+            },
+        }
+
+
+class Timer:
+    """Context manager recording one duration into a registry timer.
+
+    The only place in :mod:`repro.obs.metrics` that reads the clock;
+    uses :func:`time.perf_counter` (monotonic), so recorded durations
+    are immune to wall-clock adjustments.
+    """
+
+    __slots__ = ("_registry", "_name", "_start")
+
+    def __init__(self, registry: "MetricsRegistry", name: str) -> None:
+        self._registry = registry
+        self._name = name
+        self._start = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._registry.observe(self._name, time.perf_counter() - self._start)
+
+
+class MetricsRegistry:
+    """Mutable process-local store of counters, gauges, and timers.
+
+    Not thread-synchronized: increments are single dict operations
+    (atomic under the GIL), which is sufficient for the counting done
+    here; exact cross-thread timer interleavings are not a guarantee.
+    """
+
+    def __init__(self) -> None:
+        self._counters: dict[str, int] = {}
+        self._gauges: dict[str, float] = {}
+        self._timers: dict[str, TimerSnapshot] = {}
+
+    # -- recording ----------------------------------------------------
+
+    def inc(self, name: str, n: int = 1) -> None:
+        """Add ``n`` to counter ``name`` (created at 0)."""
+        self._counters[name] = self._counters.get(name, 0) + n
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name`` to the latest ``value``."""
+        self._gauges[name] = float(value)
+
+    def observe(self, name: str, seconds: float) -> None:
+        """Record one externally-measured duration into timer ``name``."""
+        sample = TimerSnapshot(
+            count=1, total_s=seconds, min_s=seconds, max_s=seconds
+        )
+        current = self._timers.get(name)
+        self._timers[name] = sample if current is None else current.merged(sample)
+
+    def timer(self, name: str) -> Timer:
+        """A context manager timing its body into timer ``name``."""
+        return Timer(self, name)
+
+    # -- reading / combining ------------------------------------------
+
+    def counter(self, name: str) -> int:
+        """Current counter value (0 when never incremented)."""
+        return self._counters.get(name, 0)
+
+    def snapshot(self) -> MetricsSnapshot:
+        """A frozen copy of the current state."""
+        return MetricsSnapshot(
+            counters=dict(self._counters),
+            gauges=dict(self._gauges),
+            timers=dict(self._timers),
+        )
+
+    def delta_since(self, before: MetricsSnapshot) -> MetricsSnapshot:
+        """What changed since ``before`` (worker-side per-task deltas).
+
+        Counters subtract; timers subtract count/total and keep the
+        current min/max (a per-task delta's extremes are dominated by
+        the task's own observations); gauges report their latest value.
+        """
+        counters = {
+            name: value - before.counters.get(name, 0)
+            for name, value in self._counters.items()
+            if value != before.counters.get(name, 0)
+        }
+        timers: dict[str, TimerSnapshot] = {}
+        for name, now in self._timers.items():
+            prior = before.timers.get(name)
+            count = now.count - (prior.count if prior else 0)
+            if count <= 0:
+                continue
+            timers[name] = TimerSnapshot(
+                count=count,
+                total_s=now.total_s - (prior.total_s if prior else 0.0),
+                min_s=now.min_s,
+                max_s=now.max_s,
+            )
+        return MetricsSnapshot(
+            counters=counters, gauges=dict(self._gauges), timers=timers
+        )
+
+    def merge(self, delta: MetricsSnapshot) -> None:
+        """Fold a worker-side delta into this registry."""
+        for name, value in delta.counters.items():
+            self.inc(name, value)
+        self._gauges.update(delta.gauges)
+        for name, incoming in delta.timers.items():
+            current = self._timers.get(name)
+            self._timers[name] = (
+                incoming if current is None else current.merged(incoming)
+            )
+
+    def reset(self) -> None:
+        """Drop all recorded state (tests isolate themselves with this)."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._timers.clear()
+
+    def __iter__(self) -> Iterator[tuple[str, int]]:
+        return iter(sorted(self._counters.items()))
+
+
+#: The process-wide registry every instrumented module records into.
+#: Assigned once at import; worker processes (fork or spawn) each get
+#: their own instance.
+_REGISTRY = MetricsRegistry()
+
+
+def metrics() -> MetricsRegistry:
+    """The process-local default registry."""
+    return _REGISTRY

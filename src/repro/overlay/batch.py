@@ -31,6 +31,7 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from repro.obs import metrics
 from repro.overlay.content import QueryKey, SharedContentIndex, intersect_postings
 from repro.overlay.flooding import FloodDepthCache
 from repro.overlay.topology import Topology
@@ -157,7 +158,6 @@ _WORKER_CACHES: dict[object, FloodDepthCache] = {}
 
 def _chunk_task(
     chunk: tuple[np.ndarray, list[QueryKey | None]],
-    rng: np.random.Generator,
     *,
     topo_spec: object,
     post_spec: object,
@@ -168,8 +168,8 @@ def _chunk_task(
 
     Attaches the shared topology and posting arrays, then runs the
     same pure core as the serial path with a worker-local flood cache
-    and match memo.  ``rng`` is unused — flood evaluation is
-    deterministic — but is part of the ``pmap`` task contract.
+    and match memo.  Flood evaluation is deterministic, so the task
+    runs with ``needs_rng=False``.
     """
     # Deferred import: repro.runtime sits above the overlay layer.
     from repro.runtime.shm import attach_postings, attach_topology
@@ -277,6 +277,27 @@ class BatchQueryEngine:
         """:meth:`evaluate` over pre-canonicalized query keys."""
         sources = np.atleast_1d(np.asarray(sources, dtype=np.int64))
         _validate_schedule(ttl_schedule, min_results)
+        registry = metrics()
+        registry.inc("batch.batches")
+        registry.inc("batch.queries", int(sources.size))
+        with registry.timer("batch.evaluate"):
+            return self._evaluate_keys_inner(
+                sources,
+                keys,
+                ttl_schedule=ttl_schedule,
+                min_results=min_results,
+                n_workers=n_workers,
+            )
+
+    def _evaluate_keys_inner(
+        self,
+        sources: np.ndarray,
+        keys: Sequence[QueryKey | None],
+        *,
+        ttl_schedule: tuple[int, ...],
+        min_results: int,
+        n_workers: int,
+    ) -> BatchOutcome:
         # Deferred import: repro.runtime sits above the overlay layer.
         from repro.runtime.parallel import resolve_workers
 
@@ -311,7 +332,8 @@ class BatchQueryEngine:
                 min_results=min_results,
             )
             parts = pmap(
-                task, chunks, seed=0, key="query-batch", n_workers=workers
+                task, chunks,
+                seed=0, key="query-batch", n_workers=workers, needs_rng=False,
             )
         return BatchOutcome.concatenate(parts)
 

@@ -28,6 +28,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.analysis.tokenize import TermIndex
+from repro.obs import metrics
 from repro.tracegen.gnutella_trace import GnutellaShareTrace
 
 __all__ = [
@@ -198,16 +199,20 @@ class SharedContentIndex:
         one dict hit instead of a posting-list intersection.  Returned
         arrays are shared — treat them as read-only.
         """
+        registry = metrics()
         cached = self._match_cache.get(key)
         if cached is not None:
             self._match_cache.move_to_end(key)
+            registry.inc("match.cache.hits")
             return cached
+        registry.inc("match.cache.misses")
         result = intersect_postings(
             self._posting_offsets, self._posting_instances, key
         )
         self._match_cache[key] = result
         if len(self._match_cache) > _MATCH_CACHE_MAX:
             self._match_cache.popitem(last=False)
+            registry.inc("match.cache.evictions")
         return result
 
     def match(self, terms: Sequence[str]) -> np.ndarray:

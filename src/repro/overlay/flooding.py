@@ -15,12 +15,14 @@ kernel's hot spot at the 40k-node Fig. 8 scale.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from functools import partial
 
 import numpy as np
 
+from repro.obs import metrics
 from repro.overlay.topology import Topology
 from repro.utils.stats import ragged_arange
 
@@ -125,6 +127,9 @@ def flood_depths(
         visited[new] = True
         depth[new] = level
         frontier = new
+    registry = metrics()
+    registry.inc("flood.calls")
+    registry.inc("flood.messages", int(messages))
     return depth, int(messages)
 
 
@@ -198,8 +203,13 @@ class FloodDepthCache:
         self._entries: "OrderedDict[int, DepthEntry]" = OrderedDict()
         n = topology.n_nodes
         # Reusable per-BFS scratch (reset costs a memset, not an alloc).
+        # Guarded by _scratch_lock: a second concurrent BFS would write
+        # into the same visited/frontier masks and silently corrupt
+        # both depth maps, so contended calls fall back to fresh
+        # allocations instead of sharing.
         self._visited = np.zeros(n, dtype=bool)
         self._level_mask = np.zeros(n, dtype=bool)
+        self._scratch_lock = threading.Lock()
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -209,15 +219,19 @@ class FloodDepthCache:
         if min_depth < 0:
             raise ValueError(f"min_depth must be non-negative, got {min_depth}")
         source = int(source)
+        registry = metrics()
         cached = self._entries.get(source)
         if cached is not None and cached.supports(min_depth):
             self._entries.move_to_end(source)
+            registry.inc("flood.cache.hits")
             return cached
+        registry.inc("flood.cache.misses")
         entry = self._bfs(source, min_depth)
         self._entries[source] = entry
         self._entries.move_to_end(source)
         if len(self._entries) > self.max_entries:
             self._entries.popitem(last=False)
+            registry.inc("flood.cache.evictions")
         return entry
 
     def _bfs(self, source: int, max_depth: int) -> DepthEntry:
@@ -228,11 +242,34 @@ class FloodDepthCache:
         to ``flood_depths(topology, source, t)`` for every
         ``t <= max_depth``.
         """
+        if self._scratch_lock.acquire(blocking=False):
+            try:
+                return self._bfs_with(
+                    source, max_depth, self._visited, self._level_mask
+                )
+            finally:
+                self._scratch_lock.release()
+        # Another BFS on this instance holds the scratch (threaded use);
+        # a private allocation keeps both depth maps correct.
+        metrics().inc("flood.cache.scratch_contention")
+        n = self.topology.n_nodes
+        return self._bfs_with(
+            source, max_depth,
+            np.zeros(n, dtype=bool), np.zeros(n, dtype=bool),
+        )
+
+    def _bfs_with(
+        self,
+        source: int,
+        max_depth: int,
+        visited: np.ndarray,
+        level_mask: np.ndarray,
+    ) -> DepthEntry:
+        """The BFS body, writing into caller-owned scratch masks."""
+        metrics().inc("flood.cache.bfs")
         topology = self.topology
         n = topology.n_nodes
         depth = np.full(n, -1, dtype=np.int64)
-        visited = self._visited
-        level_mask = self._level_mask
         visited[:] = False
         visited[source] = True
         depth[source] = 0
@@ -348,8 +385,13 @@ def _reach_row(topology: Topology, source: int, ttls: np.ndarray, max_ttl: int) 
     return (cum[ttls] - 1) / topology.n_nodes
 
 
-def _reach_row_task(source: int, rng: np.random.Generator, *, spec, ttls, max_ttl):
-    """Worker task: attach the shared topology, compute one row."""
+def _reach_row_task(source: int, *, spec, ttls, max_ttl):
+    """Worker task: attach the shared topology, compute one row.
+
+    A lossless flood is a pure function of its source, so the task is
+    registered with ``needs_rng=False`` — no per-row seed derivation,
+    and no unused ``rng`` parameter inviting misuse.
+    """
     # Deferred import: repro.runtime sits above the overlay layer.
     from repro.runtime.shm import attach_topology
 
@@ -389,5 +431,8 @@ def reach_fractions(
             task = partial(
                 _reach_row_task, spec=share.spec, ttls=ttls, max_ttl=max_ttl
             )
-            rows = pmap(task, source_list, seed=0, key="reach", n_workers=n_workers)
+            rows = pmap(
+                task, source_list,
+                seed=0, key="reach", n_workers=n_workers, needs_rng=False,
+            )
     return np.stack(rows).mean(axis=0)

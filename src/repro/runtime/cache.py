@@ -36,6 +36,8 @@ from typing import Any, Callable, TypeVar
 
 import numpy as np
 
+from repro.obs import get_logger, log_event, metrics
+
 __all__ = [
     "CACHE_VERSION",
     "CacheInfo",
@@ -56,6 +58,8 @@ _ENV_DIR = "REPRO_CACHE_DIR"
 _OFF_VALUES = frozenset({"0", "off", "false", "no", "disabled"})
 
 T = TypeVar("T")
+
+_log = get_logger(__name__)
 
 
 def cache_enabled() -> bool:
@@ -155,15 +159,26 @@ def cached_call(name: str, version: int, digest: str, compute: Callable[[], T]) 
     results.  Unreadable entries (torn writes from a crash, pickle
     format drift) are treated as misses and overwritten.
     """
+    registry = metrics()
     if not cache_enabled():
+        registry.inc("artifact_cache.disabled_calls")
         return compute()
     path = _entry_path(name, version, digest)
     if path.is_file():
         try:
             with path.open("rb") as handle:
-                return pickle.load(handle)  # type: ignore[no-any-return]
-        except (pickle.UnpicklingError, EOFError, AttributeError, OSError):
-            pass  # fall through to recompute and rewrite
+                value = pickle.load(handle)
+        except (pickle.UnpicklingError, EOFError, AttributeError, OSError) as exc:
+            # Torn write from a crash or pickle drift: recompute below.
+            registry.inc("artifact_cache.corrupt")
+            log_event(
+                _log, "artifact_cache.corrupt",
+                producer=name, path=str(path), error=exc,
+            )
+        else:
+            registry.inc("artifact_cache.hits")
+            return value  # type: ignore[no-any-return]
+    registry.inc("artifact_cache.misses")
     value = compute()
     path.parent.mkdir(parents=True, exist_ok=True)
     temp = path.with_name(path.name + f".tmp-{os.getpid()}")

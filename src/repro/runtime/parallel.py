@@ -5,13 +5,22 @@ The contract: ``pmap(fn, items, seed=s, key=k)`` calls
 results in item order.  Because each task's generator is *derived*
 from ``(seed, key, index)`` — never from a shared stream — the output
 is bitwise-identical whether the tasks run serially in-process or
-fanned out over any number of worker processes.
+fanned out over any number of worker processes.  Tasks that consume no
+randomness pass ``needs_rng=False`` and are called as ``fn(item)``,
+skipping the per-task seed derivation entirely.
 
 Workers receive ``fn`` by pickling, so it must be a module-level
 function (or a :func:`functools.partial` of one).  Large shared inputs
 — chiefly the CSR :class:`~repro.overlay.topology.Topology` arrays —
 should travel through :mod:`repro.runtime.shm` rather than being
 captured in the partial, which would re-pickle them for every task.
+
+Instrumentation: every task is timed into the ``pmap.task`` timer and
+counted under ``pmap.worker.<pid>.tasks``; parallel runs measure these
+inside each worker process and ship the per-task metrics delta back
+with the result, so the coordinator's registry reports the same
+totals a serial run would.  Metrics are observational only — they
+never affect task results.
 """
 
 from __future__ import annotations
@@ -19,10 +28,11 @@ from __future__ import annotations
 import multiprocessing
 import os
 from concurrent.futures import Future, ProcessPoolExecutor
-from typing import Callable, Iterable, TypeVar
+from typing import Callable, Iterable, TypeVar, Union
 
 import numpy as np
 
+from repro.obs import MetricsSnapshot, metrics
 from repro.utils.rng import derive
 
 __all__ = ["pmap", "resolve_workers"]
@@ -32,6 +42,8 @@ R = TypeVar("R")
 
 #: Per-task callables receive the item and a task-private generator.
 TaskFn = Callable[[T, np.random.Generator], R]
+#: RNG-free task callables (``needs_rng=False``) receive just the item.
+PlainTaskFn = Callable[[T], R]
 
 
 def resolve_workers(n_workers: int) -> int:
@@ -47,9 +59,55 @@ def resolve_workers(n_workers: int) -> int:
     return n_workers
 
 
-def _run_task(fn: TaskFn, item: T, seed: int, key: str | int, index: int) -> R:
-    """Worker-side shim: derive the task RNG, then run the task."""
-    return fn(item, derive(seed, key, index))
+def _call_task(
+    fn: Union[TaskFn, PlainTaskFn],
+    item: T,
+    seed: int,
+    key: str | int,
+    index: int,
+    needs_rng: bool,
+) -> R:
+    """Derive the task RNG (when the task wants one), then run the task."""
+    if needs_rng:
+        return fn(item, derive(seed, key, index))  # type: ignore[call-arg]
+    return fn(item)  # type: ignore[call-arg]
+
+
+def _run_task(
+    fn: Union[TaskFn, PlainTaskFn],
+    item: T,
+    seed: int,
+    key: str | int,
+    index: int,
+    needs_rng: bool,
+) -> R:
+    """In-process task execution, recording into the live registry."""
+    registry = metrics()
+    with registry.timer("pmap.task"):
+        result = _call_task(fn, item, seed, key, index, needs_rng)
+    registry.inc(f"pmap.worker.{os.getpid()}.tasks")
+    return result
+
+
+def _run_task_traced(
+    fn: Union[TaskFn, PlainTaskFn],
+    item: T,
+    seed: int,
+    key: str | int,
+    index: int,
+    needs_rng: bool,
+) -> tuple[R, MetricsSnapshot]:
+    """Worker-side shim: run the task, ship its metrics delta home.
+
+    The delta covers everything the task recorded in this process —
+    flood counters, cache hits, its own ``pmap.task`` timing — so
+    merging all task deltas into the coordinator's registry makes a
+    parallel run report the same totals as a serial one.
+    """
+    registry = metrics()
+    before = registry.snapshot()
+    result = _run_task(fn, item, seed, key, index, needs_rng)
+    return result, registry.delta_since(before)
 
 
 def _mp_context() -> multiprocessing.context.BaseContext:
@@ -60,12 +118,13 @@ def _mp_context() -> multiprocessing.context.BaseContext:
 
 
 def pmap(
-    fn: TaskFn,
+    fn: Union[TaskFn, PlainTaskFn],
     items: Iterable[T],
     *,
     seed: int,
     key: str | int,
     n_workers: int = 1,
+    needs_rng: bool = True,
 ) -> list[R]:
     """Deterministic (possibly parallel) map over ``items``.
 
@@ -78,17 +137,35 @@ def pmap(
     ``key`` namespaces the task streams: two ``pmap`` calls inside one
     experiment must use distinct keys or their tasks will share RNG
     streams index-for-index.
+
+    ``needs_rng=False`` declares the task deterministic: ``fn`` is
+    called as ``fn(item)`` and no per-task seed derivation happens.
+    Use it for pure fan-outs (BFS rows, batch chunks) where a dangling
+    ``rng`` parameter would only invite misuse.
     """
     items_list = list(items)
     workers = resolve_workers(n_workers)
+    registry = metrics()
+    registry.inc("pmap.maps")
+    registry.inc("pmap.tasks", len(items_list))
     if workers <= 1 or len(items_list) <= 1:
-        return [
-            _run_task(fn, item, seed, key, i) for i, item in enumerate(items_list)
-        ]
+        registry.gauge("pmap.workers", 1)
+        with registry.timer("pmap.map"):
+            return [
+                _run_task(fn, item, seed, key, i, needs_rng)
+                for i, item in enumerate(items_list)
+            ]
     workers = min(workers, len(items_list))
-    with ProcessPoolExecutor(max_workers=workers, mp_context=_mp_context()) as pool:
-        futures: list[Future[R]] = [
-            pool.submit(_run_task, fn, item, seed, key, i)
-            for i, item in enumerate(items_list)
-        ]
-        return [f.result() for f in futures]
+    registry.gauge("pmap.workers", workers)
+    with registry.timer("pmap.map"):
+        with ProcessPoolExecutor(
+            max_workers=workers, mp_context=_mp_context()
+        ) as pool:
+            futures: list[Future[tuple[R, MetricsSnapshot]]] = [
+                pool.submit(_run_task_traced, fn, item, seed, key, i, needs_rng)
+                for i, item in enumerate(items_list)
+            ]
+            outcomes = [f.result() for f in futures]
+        for _, delta in outcomes:
+            registry.merge(delta)
+        return [result for result, _ in outcomes]

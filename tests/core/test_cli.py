@@ -83,3 +83,76 @@ class TestCommands:
         # Command output first, then the cProfile table.
         assert "T-RESOLV" in out
         assert "cumulative" in out and "ncalls" in out
+
+
+class TestMetricsFlag:
+    def _load(self, path):
+        from repro.obs import load_manifest
+
+        return load_manifest(path)
+
+    def test_metrics_before_subcommand(self, tmp_path, capsys):
+        out = tmp_path / "metrics.json"
+        assert main(["--metrics", str(out), "cache", "info"]) == 0
+        captured = capsys.readouterr()
+        assert "wrote metrics manifest" in captured.err
+        doc = self._load(out)  # raises if schema-invalid
+        assert doc["command"] == "cache"
+        assert doc["argv"] == ["--metrics", str(out), "cache", "info"]
+        assert doc["exit_code"] == 0
+        assert doc["metrics"]["timers"]["cli.command"]["count"] == 1
+        assert any(s["name"] == "cli.cache" for s in doc["spans"])
+
+    def test_metrics_after_subcommand(self, tmp_path):
+        out = tmp_path / "metrics.json"
+        assert main(["cache", "info", "--metrics", str(out)]) == 0
+        doc = self._load(out)
+        assert doc["command"] == "cache"
+
+    def test_metrics_counters_reflect_the_run(self, tmp_path):
+        from repro.obs import metrics
+
+        out = tmp_path / "metrics.json"
+        before = metrics().snapshot()
+        assert main(["reach", "--metrics", str(out)]) == 0
+        delta = metrics().delta_since(before)
+        doc = self._load(out)
+        counters = doc["metrics"]["counters"]
+        # The manifest snapshot is taken after the command, so it
+        # includes at least this run's flood activity.
+        assert counters["flood.calls"] >= delta.counter("flood.calls") > 0
+        assert counters["flood.messages"] > 0
+        # reach takes no --seed, so the manifest omits the field.
+        assert "seed" not in doc
+
+    def test_metrics_manifest_records_seed(self, tmp_path):
+        out = tmp_path / "metrics.json"
+        trace = tmp_path / "t.npz"
+        assert main(["gen-trace", "--out", str(trace), "--peers", "100",
+                     "--seed", "7", "--metrics", str(out)]) == 0
+        assert self._load(out)["seed"] == 7
+
+    def test_stats_renders_manifest(self, tmp_path, capsys):
+        out = tmp_path / "metrics.json"
+        assert main(["reach", "--metrics", str(out)]) == 0
+        capsys.readouterr()
+        assert main(["stats", str(out)]) == 0
+        rendered = capsys.readouterr().out
+        assert "Run metrics: repro reach" in rendered
+        assert "flood.calls" in rendered
+        assert "cli.command" in rendered
+
+    def test_stats_rejects_invalid_file(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"schema": "nope"}')
+        assert main(["stats", str(bad)]) == 1
+        captured = capsys.readouterr()
+        assert "not a valid" in captured.err
+
+
+class TestCacheSizeReporting:
+    def test_cache_info_uses_iec_units(self, capsys):
+        assert main(["cache", "info"]) == 0
+        out = capsys.readouterr().out
+        # Sizes are reported in binary units, never decimal "MB".
+        assert ("B" in out and "MB" not in out) or "KiB" in out or "MiB" in out

@@ -10,7 +10,12 @@ from repro.core.experiment import (
     build_fig8_topology,
     build_trace_bundle,
 )
-from repro.core.reporting import format_percent, format_series, format_table
+from repro.core.reporting import (
+    format_bytes,
+    format_percent,
+    format_series,
+    format_table,
+)
 
 
 class TestFig8Topology:
@@ -73,3 +78,18 @@ class TestReporting:
     def test_format_series(self):
         out = format_series([1, 2], [0.5, 0.25], x_label="ttl", y_label="s")
         assert "ttl" in out and "0.5000" in out
+
+    def test_format_bytes_binary_units(self):
+        assert format_bytes(0) == "0 B"
+        assert format_bytes(512) == "512 B"
+        assert format_bytes(1536) == "1.5 KiB"
+        assert format_bytes(3 * 1024 * 1024) == "3.0 MiB"
+        assert format_bytes(2 * 1024**3) == "2.0 GiB"
+        assert format_bytes(5 * 1024**4) == "5.0 TiB"
+
+    def test_format_bytes_huge_stays_tib(self):
+        assert format_bytes(1024**5) == "1024.0 TiB"
+
+    def test_format_bytes_negative_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            format_bytes(-1)

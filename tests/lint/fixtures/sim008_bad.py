@@ -1,0 +1,15 @@
+"""Fixture: bare print() in library code (SIM008)."""
+
+__all__ = ["rebuild", "Loader"]
+
+
+def rebuild(n: int) -> int:
+    print("rebuilding index")
+    print("progress:", n, flush=True)
+    return n
+
+
+class Loader:
+    def load(self, path: str) -> str:
+        print(f"loading {path}")
+        return path

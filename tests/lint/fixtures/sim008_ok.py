@@ -1,0 +1,20 @@
+"""Fixture: diagnostics via logging / stderr; look-alikes not flagged."""
+
+import logging
+import sys
+
+__all__ = ["rebuild"]
+
+log = logging.getLogger(__name__)
+
+
+class Console:
+    def print(self, message: str) -> None:  # a method, not the builtin
+        log.info(message)
+
+
+def rebuild(n: int, console: Console) -> int:
+    log.warning("rebuilding index n=%d", n)
+    print("progress", file=sys.stderr)  # explicit stderr is fine
+    console.print("done")
+    return n

@@ -24,7 +24,7 @@ def findings(name: str, code: str) -> list[Diagnostic]:
 
 def test_registry_has_all_builtin_rules() -> None:
     codes = set(registered_rules())
-    assert {f"SIM00{i}" for i in range(1, 8)} <= codes
+    assert {f"SIM00{i}" for i in range(1, 9)} <= codes
 
 
 @pytest.mark.parametrize(
@@ -36,6 +36,7 @@ def test_registry_has_all_builtin_rules() -> None:
         ("SIM004", "sim004_bad.py", 3),
         ("SIM006", "sim006_bad.py", 3),
         ("SIM007", "sim007_bad.py", 2),
+        ("SIM008", "sim008_bad.py", 3),
     ],
 )
 def test_bad_fixture_triggers_rule(code: str, bad: str, n_min: int) -> None:
@@ -54,6 +55,7 @@ def test_bad_fixture_triggers_rule(code: str, bad: str, n_min: int) -> None:
         ("SIM005", "sim005_ok.py"),
         ("SIM006", "sim006_ok.py"),
         ("SIM007", "sim007_ok.py"),
+        ("SIM008", "sim008_ok.py"),
     ],
 )
 def test_ok_fixture_is_clean(code: str, ok: str) -> None:
@@ -96,3 +98,15 @@ def test_sim002_exempts_benchmark_globs() -> None:
     config = LintConfig(wallclock_exempt=("*/fixtures/*",))
     diags = lint_file(FIXTURES / "sim002_bad.py", config)
     assert [d for d in diags if d.code == "SIM002"] == []
+
+
+def test_sim008_exempts_print_allowed_globs() -> None:
+    # CLI/reporting modules print by design; the allowlist silences SIM008.
+    config = LintConfig(print_allowed=("*/fixtures/*",))
+    diags = lint_file(FIXTURES / "sim008_bad.py", config)
+    assert [d for d in diags if d.code == "SIM008"] == []
+
+
+def test_sim008_stderr_redirect_is_allowed() -> None:
+    # The ok fixture routes its one print() to stderr explicitly.
+    assert findings("sim008_ok.py", "SIM008") == []

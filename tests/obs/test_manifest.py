@@ -1,0 +1,99 @@
+"""Tests for repro.obs.manifest: build / write / load / validate."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import (
+    SCHEMA,
+    MetricsRegistry,
+    build_manifest,
+    load_manifest,
+    validate_manifest,
+    write_manifest,
+)
+from repro.obs.trace import SpanRecord
+
+
+def _sample_doc() -> dict:
+    registry = MetricsRegistry()
+    registry.inc("flood.messages", 42)
+    registry.gauge("pmap.workers", 2)
+    registry.observe("cli.command", 0.1)
+    spans = [SpanRecord(name="cli.fig", duration_s=0.1, depth=0)]
+    return build_manifest(
+        command="fig",
+        argv=["fig", "8"],
+        snapshot=registry.snapshot(),
+        spans=spans,
+        exit_code=0,
+        seed=0,
+    )
+
+
+def test_build_manifest_shape():
+    doc = _sample_doc()
+    assert doc["schema"] == SCHEMA
+    assert doc["command"] == "fig"
+    assert doc["argv"] == ["fig", "8"]
+    assert doc["seed"] == 0
+    assert doc["exit_code"] == 0
+    assert doc["metrics"]["counters"]["flood.messages"] == 42
+    assert doc["spans"][0]["name"] == "cli.fig"
+
+
+def test_build_manifest_omits_absent_seed():
+    registry = MetricsRegistry()
+    doc = build_manifest(
+        command="cache", argv=["cache", "info"],
+        snapshot=registry.snapshot(), spans=[],
+    )
+    assert "seed" not in doc
+
+
+def test_valid_manifest_has_no_problems():
+    assert validate_manifest(_sample_doc()) == []
+
+
+def test_round_trip_via_disk(tmp_path):
+    out = tmp_path / "nested" / "metrics.json"
+    write_manifest(out, _sample_doc())
+    # The file is plain JSON (schema-valid by construction).
+    raw = json.loads(out.read_text())
+    assert raw["schema"] == SCHEMA
+    doc = load_manifest(out)
+    assert doc["metrics"]["counters"]["flood.messages"] == 42
+
+
+@pytest.mark.parametrize(
+    ("mutate", "fragment"),
+    [
+        (lambda d: d.update(schema="bogus/9"), "schema"),
+        (lambda d: d.pop("command"), "command"),
+        (lambda d: d.update(argv="fig 8"), "argv"),
+        (lambda d: d.update(exit_code="0"), "exit_code"),
+        (lambda d: d.update(metrics=[]), "metrics"),
+        (lambda d: d["metrics"].update(counters={"x": 1.5}), "counters"),
+        (lambda d: d["metrics"].update(timers={"t": {"count": 1}}), "timers"),
+        (lambda d: d.update(spans=[{"name": "x"}]), "spans"),
+    ],
+)
+def test_invalid_manifests_are_rejected(mutate, fragment):
+    doc = _sample_doc()
+    mutate(doc)
+    problems = validate_manifest(doc)
+    assert problems
+    assert any(fragment in p for p in problems)
+
+
+def test_non_object_document():
+    assert validate_manifest([1, 2]) == ["document is not a JSON object"]
+
+
+def test_load_manifest_raises_on_invalid(tmp_path):
+    bad = tmp_path / "bad.json"
+    bad.write_text(json.dumps({"schema": "nope"}))
+    with pytest.raises(ValueError, match="not a valid"):
+        load_manifest(bad)

@@ -1,0 +1,135 @@
+"""Tests for repro.obs.metrics: registry, snapshots, deltas, merging."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.obs import MetricsRegistry, MetricsSnapshot, TimerSnapshot, metrics
+
+
+@pytest.fixture()
+def registry() -> MetricsRegistry:
+    return MetricsRegistry()
+
+
+class TestCounters:
+    def test_inc_defaults_to_one(self, registry):
+        registry.inc("a")
+        registry.inc("a")
+        assert registry.counter("a") == 2
+
+    def test_inc_by_n(self, registry):
+        registry.inc("flood.messages", 120)
+        registry.inc("flood.messages", 3)
+        assert registry.counter("flood.messages") == 123
+
+    def test_unknown_counter_reads_zero(self, registry):
+        assert registry.counter("never") == 0
+
+    def test_iter_yields_sorted_counters(self, registry):
+        registry.inc("b")
+        registry.inc("a", 2)
+        assert list(registry) == [("a", 2), ("b", 1)]
+
+
+class TestGaugesAndTimers:
+    def test_gauge_keeps_latest(self, registry):
+        registry.gauge("pmap.workers", 2)
+        registry.gauge("pmap.workers", 4)
+        assert registry.snapshot().gauges["pmap.workers"] == 4.0
+
+    def test_observe_accumulates_stats(self, registry):
+        registry.observe("t", 0.5)
+        registry.observe("t", 1.5)
+        registry.observe("t", 1.0)
+        t = registry.snapshot().timers["t"]
+        assert t.count == 3
+        assert t.total_s == pytest.approx(3.0)
+        assert t.min_s == pytest.approx(0.5)
+        assert t.max_s == pytest.approx(1.5)
+        assert t.mean_s == pytest.approx(1.0)
+
+    def test_timer_context_manager_records_once(self, registry):
+        with registry.timer("block"):
+            pass
+        t = registry.snapshot().timers["block"]
+        assert t.count == 1
+        assert t.total_s >= 0.0
+
+    def test_empty_timer_mean_is_zero(self):
+        t = TimerSnapshot(count=0, total_s=0.0, min_s=0.0, max_s=0.0)
+        assert t.mean_s == 0.0
+
+
+class TestSnapshotDeltaMerge:
+    def test_snapshot_is_a_copy(self, registry):
+        registry.inc("a")
+        snap = registry.snapshot()
+        registry.inc("a")
+        assert snap.counter("a") == 1
+        assert registry.counter("a") == 2
+
+    def test_delta_since_reports_only_changes(self, registry):
+        registry.inc("a")
+        registry.inc("b", 5)
+        before = registry.snapshot()
+        registry.inc("a", 3)
+        registry.observe("t", 0.25)
+        delta = registry.delta_since(before)
+        assert delta.counters == {"a": 3}
+        assert delta.timers["t"].count == 1
+        assert delta.timers["t"].total_s == pytest.approx(0.25)
+
+    def test_merge_reconstructs_totals(self):
+        # Simulates pmap: two workers each measure a per-task delta;
+        # the coordinator's merged registry equals a serial run.
+        serial = MetricsRegistry()
+        coordinator = MetricsRegistry()
+        for worker_obs in ([("x", 2), ("y", 1)], [("x", 4)]):
+            worker = MetricsRegistry()
+            before = worker.snapshot()
+            for name, n in worker_obs:
+                worker.inc(name, n)
+                serial.inc(name, n)
+                worker.observe("task", 0.5)
+                serial.observe("task", 0.5)
+            coordinator.merge(worker.delta_since(before))
+        assert dict(coordinator) == dict(serial)
+        merged_t = coordinator.snapshot().timers["task"]
+        serial_t = serial.snapshot().timers["task"]
+        assert merged_t.count == serial_t.count
+        assert merged_t.total_s == pytest.approx(serial_t.total_s)
+
+    def test_snapshot_is_picklable(self, registry):
+        registry.inc("a", 7)
+        registry.observe("t", 1.0)
+        registry.gauge("g", 3.0)
+        snap = pickle.loads(pickle.dumps(registry.snapshot()))
+        assert isinstance(snap, MetricsSnapshot)
+        assert snap.counter("a") == 7
+        assert snap.timers["t"].count == 1
+
+    def test_reset_clears_everything(self, registry):
+        registry.inc("a")
+        registry.gauge("g", 1.0)
+        registry.observe("t", 1.0)
+        registry.reset()
+        snap = registry.snapshot()
+        assert snap.counters == {} and snap.gauges == {} and snap.timers == {}
+
+
+class TestProcessLocalRegistry:
+    def test_metrics_returns_singleton(self):
+        assert metrics() is metrics()
+
+    def test_as_dict_shape(self, registry):
+        registry.inc("c", 2)
+        registry.gauge("g", 1.5)
+        registry.observe("t", 0.5)
+        doc = registry.snapshot().as_dict()
+        assert doc["counters"] == {"c": 2}
+        assert doc["gauges"] == {"g": 1.5}
+        assert doc["timers"]["t"]["count"] == 1
+        assert doc["timers"]["t"]["mean_s"] == pytest.approx(0.5)

@@ -23,6 +23,11 @@ def _identity(item: int, rng: np.random.Generator) -> int:
     return item
 
 
+def _double(item: int) -> int:
+    """Plain task: registered with needs_rng=False, so no rng arg."""
+    return item * 2
+
+
 def _index_draw(item: int, rng: np.random.Generator) -> float:
     return float(rng.random())
 
@@ -69,6 +74,58 @@ class TestPmapDeterminism:
         a = pmap(_draw, [1.0], seed=1, key="ka", n_workers=1)
         b = pmap(_draw, [1.0], seed=1, key="kb", n_workers=1)
         assert not np.array_equal(a[0], b[0])
+
+
+class TestPlainTasks:
+    """needs_rng=False: deterministic tasks take no generator at all."""
+
+    def test_serial_calls_without_rng(self):
+        assert pmap(_double, [1, 2, 3], seed=0, key="p", n_workers=1,
+                    needs_rng=False) == [2, 4, 6]
+
+    def test_parallel_matches_serial(self):
+        items = list(range(9))
+        serial = pmap(_double, items, seed=0, key="p", n_workers=1,
+                      needs_rng=False)
+        parallel = pmap(_double, items, seed=0, key="p", n_workers=3,  # simlint: ignore[SIM011] serial-vs-parallel equivalence needs the identical stream
+                        needs_rng=False)
+        assert serial == parallel == [2 * i for i in items]
+
+    def test_rng_task_rejects_plain_contract(self):
+        # A task expecting an rng fails loudly if registered plain,
+        # instead of silently running with a missing argument.
+        with pytest.raises(TypeError):
+            pmap(_draw, [1.0, 2.0], seed=0, key="p", n_workers=1,
+                 needs_rng=False)
+
+
+class TestPmapMetrics:
+    """pmap's counters must tally tasks exactly, serial and parallel."""
+
+    def test_serial_task_count(self):
+        from repro.obs import metrics
+
+        before = metrics().snapshot()
+        pmap(_identity, list(range(7)), seed=0, key="m", n_workers=1)
+        delta = metrics().delta_since(before)
+        assert delta.counter("pmap.tasks") == 7
+        assert delta.counter("pmap.maps") == 1
+        assert delta.timers["pmap.task"].count == 7
+
+    def test_parallel_worker_deltas_merge_to_serial_totals(self):
+        from repro.obs import metrics
+
+        before = metrics().snapshot()
+        pmap(_identity, list(range(8)), seed=0, key="m", n_workers=2)
+        delta = metrics().delta_since(before)
+        assert delta.counter("pmap.tasks") == 8
+        assert delta.timers["pmap.task"].count == 8
+        per_worker = [
+            n for name, n in delta.counters.items()
+            if name.startswith("pmap.worker.") and name.endswith(".tasks")
+        ]
+        assert sum(per_worker) == 8
+        assert delta.gauges["pmap.workers"] == 2.0
 
 
 class TestPmapEdges:
