@@ -15,6 +15,8 @@ import time
 import numpy as np
 import pytest
 
+from conftest import peak_rss_bytes
+
 from repro.dht.chord import ChordRing
 from repro.overlay.batch import BatchQueryEngine
 from repro.overlay.flooding import flood_depths
@@ -24,6 +26,24 @@ from repro.utils.bloom import BloomFilter
 from repro.utils.rng import make_rng
 from repro.utils.text import StringInterner
 from repro.utils.zipf import ZipfDistribution
+
+
+@pytest.fixture(autouse=True)
+def _record_peak_rss(request):
+    """Stamp the post-test RSS high-water mark next to each timing.
+
+    ``ru_maxrss`` is monotone, so the per-test values are cumulative
+    maxima — the interesting signal is the *jump* a kernel causes
+    (e.g. the 40k flood suddenly allocating int64 scratch again).
+    """
+    benchmark = (
+        request.getfixturevalue("benchmark")
+        if "benchmark" in request.fixturenames
+        else None
+    )
+    yield
+    if benchmark is not None:
+        benchmark.extra_info["peak_rss_bytes"] = peak_rss_bytes()
 
 
 @pytest.fixture(scope="module")

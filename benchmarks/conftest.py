@@ -15,6 +15,8 @@ from __future__ import annotations
 
 import json
 import os
+import resource
+import sys
 from pathlib import Path
 
 import pytest
@@ -24,6 +26,18 @@ from repro.overlay.content import SharedContentIndex
 from repro.tracegen import presets
 from repro.tracegen.catalog import MusicCatalog
 from repro.tracegen.itunes_trace import ITunesShareTrace
+
+
+def peak_rss_bytes() -> int:
+    """Process-lifetime peak resident set size, in bytes.
+
+    ``ru_maxrss`` is a high-water mark: it only ever grows, so a value
+    recorded after a benchmark bounds that benchmark's footprint from
+    above (plus whatever ran before it).  Linux reports KiB, macOS
+    bytes.
+    """
+    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    return int(rss) if sys.platform == "darwin" else int(rss) * 1024
 
 
 def pytest_sessionfinish(session: pytest.Session, exitstatus: int) -> None:
@@ -55,6 +69,10 @@ def pytest_sessionfinish(session: pytest.Session, exitstatus: int) -> None:
         "exitstatus": int(exitstatus),
         "benchmarks": rows,
         "metrics": metrics().snapshot().as_dict(),
+        # Session-wide memory high-water mark, the measured counterpart
+        # of the static bytes-per-node prediction in lint/mem-budget.json
+        # (see docs/performance.md, "Memory budget").
+        "peak_rss_bytes": peak_rss_bytes(),
     }
     out = Path(os.environ.get("REPRO_BENCH_OUT", "BENCH_perf.json"))
     out.write_text(json.dumps(doc, indent=2, sort_keys=True))

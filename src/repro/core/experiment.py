@@ -54,8 +54,10 @@ class Fig8TopologyConfig:
             raise ValueError("need at least two nodes")
 
 
-#: Bump when two_tier_gnutella's construction changes meaning.
-_TOPOLOGY_CACHE_VERSION = 1
+#: Bump when two_tier_gnutella's construction changes meaning (v2:
+#: CSR indices narrowed to INDEX_DTYPE/int32 — cached int64 artifacts
+#: must not be served).
+_TOPOLOGY_CACHE_VERSION = 2
 
 
 def build_fig8_topology(config: Fig8TopologyConfig | None = None) -> Topology:

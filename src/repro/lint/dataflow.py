@@ -25,8 +25,10 @@ __all__ = [
     "cleanup_guaranteed",
     "escapes",
     "free_names",
+    "mutation_sites",
     "own_nodes",
     "rng_tainted_names",
+    "walk_shallow",
 ]
 
 #: Annotations that mark a parameter as carrying a live generator.
@@ -67,6 +69,50 @@ def own_nodes(
                              ast.ClassDef)):
             continue
         stack.extend(ast.iter_child_nodes(node))
+
+
+def walk_shallow(node: ast.AST) -> Iterator[ast.AST]:
+    """Walk an arbitrary subtree without descending into nested defs.
+
+    Like :func:`own_nodes` but rooted at any node (e.g. one loop body),
+    which is what the array rules need when asking "does this loop body
+    call anything?" without being confused by a nested helper def.
+    """
+    stack: list[ast.AST] = [node]
+    while stack:
+        current = stack.pop()
+        yield current
+        if current is not node and isinstance(
+            current, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef)
+        ):
+            continue
+        stack.extend(ast.iter_child_nodes(current))
+
+
+def mutation_sites(
+    func: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> Iterator[tuple[str, ast.expr | None]]:
+    """``(name, stored_value)`` pairs for in-place stores into a local.
+
+    Covers ``name[...] = value`` subscript stores and ``name[...] += x`` /
+    ``name += x`` augmented assignments (value ``None`` — the result is
+    not a plain expression the caller can re-infer).  The array analysis
+    uses these to widen a local's value range after its creation site.
+    """
+    for node in own_nodes(func):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Subscript) and isinstance(
+                    target.value, ast.Name
+                ):
+                    yield target.value.id, node.value
+        elif isinstance(node, ast.AugAssign):
+            if isinstance(node.target, ast.Subscript) and isinstance(
+                node.target.value, ast.Name
+            ):
+                yield node.target.value.id, None
+            elif isinstance(node.target, ast.Name):
+                yield node.target.id, None
 
 
 def assigned_names(target: ast.expr) -> set[str]:

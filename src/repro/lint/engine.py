@@ -4,7 +4,8 @@ v2 runs in two phases.  Phase 1 parses every target file once, runs
 the per-file rules, and builds the project-wide
 :class:`~repro.lint.index.ProjectIndex` (symbol table + call graph).
 Phase 2 hands that index to the registered
-:class:`~repro.lint.rules.ProjectRule`\\ s (SIM010-SIM014), whose
+:class:`~repro.lint.rules.ProjectRule`\\ s (SIM010-SIM014 determinism
+and lifecycle rules, SIM015-SIM017 array scale-readiness rules), whose
 dataflow analyses span function and module boundaries.
 
 Suppression happens here, not in rules: a rule always reports what it
@@ -26,6 +27,7 @@ from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Iterable, Iterator, Sequence
 
+from repro.lint import arrays as _arrays  # noqa: F401  (registers SIM015-SIM017)
 from repro.lint import builtin as _builtin  # noqa: F401  (registers SIM001-SIM007)
 from repro.lint import semantic as _semantic  # noqa: F401  (registers SIM010-SIM014)
 from repro.lint.config import LintConfig

@@ -33,12 +33,13 @@ import numpy as np
 
 from repro.obs import metrics
 from repro.overlay.content import QueryKey, SharedContentIndex, intersect_postings
-from repro.overlay.flooding import FloodDepthCache
+from repro.overlay.flooding import DEPTH_DTYPE, FloodDepthCache
 from repro.overlay.topology import Topology
 
 __all__ = ["BatchOutcome", "BatchQueryEngine"]
 
 _EMPTY = np.empty(0, dtype=np.int64)
+_EMPTY_DEPTH = np.empty(0, dtype=DEPTH_DTYPE)
 
 
 @dataclass(frozen=True)
@@ -127,7 +128,11 @@ def _evaluate_keys(
         hits = _EMPTY if key is None else match_key(key)
         entry = cache.entry(int(sources[i]), max_ttl)
         # Depth of each hit's peer; -1 (unreached) never passes a ring.
-        hit_depth = entry.depth[instance_peer[hits]] if hits.size else _EMPTY
+        # Stays in the narrow DEPTH_DTYPE — the ring comparisons below
+        # never need to widen it.
+        hit_depth = (
+            entry.depth[instance_peer[hits]] if hits.size else _EMPTY_DEPTH
+        )
         total = 0
         count = 0
         ttl = ttl_schedule[0]

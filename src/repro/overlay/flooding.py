@@ -27,6 +27,7 @@ from repro.overlay.topology import Topology
 from repro.utils.stats import ragged_arange
 
 __all__ = [
+    "DEPTH_DTYPE",
     "DepthEntry",
     "FloodDepthCache",
     "FloodResult",
@@ -35,6 +36,23 @@ __all__ = [
     "flood_depths_batch",
     "reach_fractions",
 ]
+
+#: Depth-map element type.  Hop counts are tiny (the Fig. 8 protocol
+#: caps TTL at 5; graph diameters stay far below 2**15) so int16 cuts
+#: the per-node depth cost 4x versus the int64 seed.  int16 rather
+#: than uint16 because -1 is the "never reached" sentinel throughout;
+#: :func:`_check_depth_horizon` rejects horizons past ``iinfo.max``.
+DEPTH_DTYPE = np.dtype(np.int16)
+
+
+def _check_depth_horizon(max_depth: int) -> None:
+    """Refuse BFS horizons the depth dtype cannot represent."""
+    limit = int(np.iinfo(DEPTH_DTYPE).max)
+    if max_depth > limit:
+        raise OverflowError(
+            f"max_depth {max_depth} exceeds the depth dtype "
+            f"{DEPTH_DTYPE.name} (max {limit}); widen DEPTH_DTYPE"
+        )
 
 
 @dataclass(frozen=True)
@@ -84,13 +102,14 @@ def flood_depths(
     """
     if max_depth < 0:
         raise ValueError(f"max_depth must be non-negative, got {max_depth}")
+    _check_depth_horizon(max_depth)
     if not 0.0 <= p_loss < 1.0:
         raise ValueError(f"p_loss must be in [0, 1), got {p_loss}")
     if p_loss > 0.0 and rng is None:
         raise ValueError("p_loss > 0 requires an rng")
     sources = np.atleast_1d(np.asarray(sources, dtype=np.int64))
     n = topology.n_nodes
-    depth = np.full(n, -1, dtype=np.int64)
+    depth = np.full(n, -1, dtype=DEPTH_DTYPE)
     visited = np.zeros(n, dtype=bool)
     visited[sources] = True
     depth[sources] = 0
@@ -173,8 +192,12 @@ class DepthEntry:
 
     def depth_at(self, ttl: int) -> np.ndarray:
         """The ``flood_depths`` depth map of a TTL-``ttl`` flood."""
+        # The sentinel carries the depth dtype: a 0-d int64 would
+        # promote the whole result back to int64 under NEP 50.
         return np.where(
-            (self.depth >= 0) & (self.depth <= ttl), self.depth, np.int64(-1)
+            (self.depth >= 0) & (self.depth <= ttl),
+            self.depth,
+            DEPTH_DTYPE.type(-1),
         )
 
 
@@ -218,6 +241,7 @@ class FloodDepthCache:
         """The cached BFS of ``source``, valid to at least ``min_depth``."""
         if min_depth < 0:
             raise ValueError(f"min_depth must be non-negative, got {min_depth}")
+        _check_depth_horizon(min_depth)
         source = int(source)
         registry = metrics()
         cached = self._entries.get(source)
@@ -269,7 +293,7 @@ class FloodDepthCache:
         metrics().inc("flood.cache.bfs")
         topology = self.topology
         n = topology.n_nodes
-        depth = np.full(n, -1, dtype=np.int64)
+        depth = np.full(n, -1, dtype=DEPTH_DTYPE)
         visited[:] = False
         visited[source] = True
         depth[source] = 0
@@ -339,7 +363,7 @@ def flood_depths_batch(
     BFS results across calls (e.g. expanding-ring schedules).
 
     Note the row-per-source depth matrix costs
-    ``n_sources * n_nodes * 8`` bytes; workload-scale consumers should
+    ``n_sources * n_nodes * 2`` bytes; workload-scale consumers should
     use :class:`FloodDepthCache` directly (the batched query engine
     does) and read per-query quantities off the shared entries.
     """
@@ -348,7 +372,7 @@ def flood_depths_batch(
         cache = FloodDepthCache(
             topology, max_entries=max(1, np.unique(sources).size)
         )
-    depth = np.empty((sources.size, topology.n_nodes), dtype=np.int64)
+    depth = np.empty((sources.size, topology.n_nodes), dtype=DEPTH_DTYPE)
     messages = np.empty(sources.size, dtype=np.int64)
     for i, s in enumerate(sources):
         entry = cache.entry(int(s), max_depth)

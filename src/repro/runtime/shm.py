@@ -1,10 +1,13 @@
 """Shared-memory transport for :class:`~repro.overlay.topology.Topology`.
 
-The Fig. 8 topology's CSR arrays hold ~1M int64 entries; pickling them
-into every worker task would dominate the fan-out cost.  Instead the
-owner publishes the three arrays (``offsets``, ``neighbors``,
-``forwards``) into POSIX shared-memory segments once, and workers
-attach zero-copy read-only views by segment name.
+The Fig. 8 topology's CSR arrays hold ~1M int32 entries (int64 before
+the scale-readiness dtype shrink); pickling them into every worker
+task would dominate the fan-out cost.  Instead the owner publishes the
+three arrays (``offsets``, ``neighbors``, ``forwards``) into POSIX
+shared-memory segments once, and workers attach zero-copy read-only
+views by segment name.  Each :class:`SharedArraySpec` carries its
+array's dtype string, so the transport is dtype-agnostic: narrowing a
+kernel array never touches this layer.
 
 Lifecycle: the *owner* process creates a :class:`SharedTopology`
 (ideally as a context manager) and ships the tiny picklable

@@ -1,0 +1,16 @@
+"""SIM015 true positives: hot-path int64 arrays with provably narrow values."""
+
+import numpy as np
+
+
+def hot_kernel(n):
+    # Values never leave [0, 200]: int16 suffices, int64 is flagged.
+    levels = np.zeros(n, dtype=np.int64)
+    for i in range(4):
+        levels[i] = 200
+    # Constant fill value 7 fits int16.
+    small = np.full(n, 7, dtype=np.int64)
+    # A reason-less pragma is refused, so this line still reports.
+    flags = np.zeros(n, dtype=np.int64)  # simlint: ignore[SIM015]
+    flags[0] = 1
+    return levels, small, flags

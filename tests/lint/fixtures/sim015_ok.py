@@ -1,0 +1,29 @@
+"""SIM015 true negatives: wide values, killed bounds, cold paths, pragmas."""
+
+import numpy as np
+
+
+def hot_kernel(n, edges):
+    # Genuinely needs 64 bits: the fill value exceeds the int32 range.
+    keys = np.full(n, 2**40, dtype=np.int64)
+    # Bounds are killed by a store of unknown magnitude.
+    acc = np.zeros(n, dtype=np.int64)
+    acc[0] = edges.sum()
+    # Escapes through an ``out=`` alias: mutations are untracked, so
+    # the narrow initial bounds must not be trusted.
+    offsets = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(edges, out=offsets[1:])
+    # Already narrow: nothing to shrink.
+    depth = np.zeros(n, dtype=np.int16)
+    depth[0] = 5
+    # Suppressed with a reason: accepted.
+    ring = np.zeros(n, dtype=np.int64)  # simlint: ignore[SIM015] churn rewrites widen these offsets
+    ring[0] = 3
+    return keys, acc, offsets, depth, ring
+
+
+def cold_helper(n):
+    # Narrow int64, but not reachable from any hot root: clean.
+    tags = np.zeros(n, dtype=np.int64)
+    tags[0] = 2
+    return tags

@@ -1,0 +1,25 @@
+"""SIM016 true positives: hidden copies on hot paths."""
+
+import numpy as np
+
+from repro.runtime import shm
+
+
+def hot_kernel(frontier, rows, cols, weights: np.ndarray):
+    total = 0
+    for _ in range(5):
+        # Sorting dedup inside the level loop: the kernel's old hot spot.
+        frontier = np.unique(frontier)
+        total += frontier.size
+    # Chained fancy indexing materializes the intermediate selection.
+    picked = weights[rows][cols]
+    # astype to the dtype the array already has copies for nothing.
+    counts = np.zeros(rows.size)
+    widened = counts.astype(np.float64)
+    return total, picked, widened
+
+
+def ship(matrix, topology):
+    # Non-contiguous views fed to the shm transport force a copy per
+    # worker attach; this fires in any function, hot or not.
+    return shm.SharedTopology(matrix.T)

@@ -1,0 +1,35 @@
+"""SIM016 true negatives: hoisted dedup, real conversions, pragmas."""
+
+import numpy as np
+
+from repro.runtime import shm
+
+
+def hot_kernel(frontier, rows, weights: np.ndarray, mask):
+    # Hoisted out of the loop: one sort, not one per level.
+    frontier = np.unique(frontier)
+    total = 0
+    for _ in range(5):
+        total += frontier.size
+    # Single-step fancy indexing is the idiom, not a hidden copy.
+    picked = weights[rows]
+    # astype that actually changes the dtype does real work.
+    counts = np.zeros(rows.size)
+    narrowed = counts.astype(np.float32)
+    # A real violation, suppressed with a reason: accepted.
+    staged = rows
+    for _ in range(2):
+        staged = np.unique(staged)  # simlint: ignore[SIM016] two-pass dedup; second pass sees tiny input
+    return total, picked, narrowed, staged
+
+
+def cold_helper(values):
+    # Per-iteration unique outside the hot set: clean.
+    for _ in range(3):
+        values = np.unique(values)
+    return values
+
+
+def ship(matrix, topology):
+    # Contiguous arrays to the shm transport: clean.
+    return shm.SharedTopology(np.ascontiguousarray(matrix))

@@ -1,0 +1,16 @@
+"""SIM017 true positives: per-node Python loops in a hot kernel."""
+
+import numpy as np
+
+
+def hot_kernel(n):
+    depth = np.zeros(n, dtype=np.int16)
+    total = 0
+    # Per-element accumulation: np.count_nonzero / sum over a mask.
+    for i in range(n):
+        if depth[i] >= 0:
+            total += 1
+    # Per-element writes: a single vectorized slice assignment.
+    for j in range(n):
+        depth[j] = -1
+    return total, depth

@@ -1,0 +1,35 @@
+"""SIM017 true negatives: vectorized forms, calls in body, cold paths."""
+
+import numpy as np
+
+
+def hot_kernel(n, chunks):
+    depth = np.zeros(n, dtype=np.int16)
+    # The vectorized forms of the sim017_bad loops.
+    total = int(np.count_nonzero(depth >= 0))
+    depth[:] = -1
+    # A loop whose body calls out does real per-item work (the batch
+    # engine's per-query loop is this shape): clean.
+    acc = 0
+    for i in range(n):
+        acc += expensive(depth, i)
+    # Loop over Python objects, not array elements: clean.
+    for chunk in chunks:
+        acc += len(chunk)
+    # Suppressed with a reason: accepted.
+    for k in range(n):  # simlint: ignore[SIM017] tiny n, readability beats vectorizing here
+        depth[k] = 0
+    return total, acc, depth
+
+
+def expensive(depth, i):
+    return int(depth[i])
+
+
+def cold_helper(values):
+    # Scalar loop outside the hot set: clean.
+    total = 0
+    for i in range(values.shape[0]):
+        if values[i] > 0:
+            total += 1
+    return total

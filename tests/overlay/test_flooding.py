@@ -257,3 +257,29 @@ class TestParallelReach:
         serial = reach_fractions(small_two_tier, sources, [1, 2, 3], n_workers=1)
         parallel = reach_fractions(small_two_tier, sources, [1, 2, 3], n_workers=2)
         np.testing.assert_array_equal(serial, parallel)
+
+
+class TestDepthDtype:
+    """int16 depth maps: the sentinel survives and horizons are guarded."""
+
+    def test_depth_maps_use_the_narrow_dtype(self, small_flat):
+        from repro.overlay.flooding import DEPTH_DTYPE
+
+        depth, _ = flood_depths(small_flat, 0, 3)
+        assert depth.dtype == DEPTH_DTYPE
+        cache = FloodDepthCache(small_flat)
+        entry = cache.entry(0, 3)
+        assert entry.depth.dtype == DEPTH_DTYPE
+        # np.where with a typed sentinel must not promote back to int64.
+        assert entry.depth_at(2).dtype == DEPTH_DTYPE
+
+    def test_horizon_past_dtype_ceiling_raises(self, small_flat):
+        with pytest.raises(OverflowError, match="int16"):
+            flood_depths(small_flat, 0, 40_000)
+        cache = FloodDepthCache(small_flat)
+        with pytest.raises(OverflowError, match="max 32767"):
+            cache.entry(0, 40_000)
+
+    def test_horizon_at_ceiling_is_accepted(self, small_flat):
+        depth, _ = flood_depths(small_flat, 0, 32_767)
+        assert int(depth.max()) < 32_767
