@@ -48,10 +48,18 @@ class Fig8TopologyConfig:
     up_up_degree: float = 8.0
     leaf_up_connections: int = 3
     seed: int = 0
+    #: Streaming generation block size (rows per derived RNG block).
+    #: ``None`` keeps the batch draw; setting it selects a *different*
+    #: deterministic graph (see ``two_tier_gnutella``), so it is part
+    #: of the cache digest, not an execution knob.  Million-node runs
+    #: need it — the batch path materializes the full int64 edge list.
+    edge_block: int | None = None
 
     def __post_init__(self) -> None:
         if self.n_nodes < 2:
             raise ValueError("need at least two nodes")
+        if self.edge_block is not None and self.edge_block < 1:
+            raise ValueError("edge_block must be positive when set")
 
 
 #: Bump when two_tier_gnutella's construction changes meaning (v2:
@@ -78,6 +86,7 @@ def build_fig8_topology(config: Fig8TopologyConfig | None = None) -> Topology:
             up_up_degree=cfg.up_up_degree,
             leaf_up_connections=cfg.leaf_up_connections,
             seed=cfg.seed,
+            edge_block=cfg.edge_block,
         ),
     )
 

@@ -115,6 +115,32 @@ SPECS: tuple[ArraySpec, ...] = (
         seed_itemsize=8,
         fallback="int64",
     ),
+    # Sharded flood publish: the per-shard CSR copies the
+    # process-parallel driver exports to shared memory
+    # (repro.runtime.shards).  Offsets are re-based per shard (one
+    # entry per node plus one per shard); neighbors keep global node
+    # ids, so both must stay at INDEX_DTYPE width for the sharded
+    # footprint to track the single-segment CSR.
+    ArraySpec(
+        group="sharding",
+        structure="TopologyShard",
+        array="offsets",
+        qualname="repro.overlay.sharding.partition_topology",
+        target="local:offsets",
+        per_node=1.0,
+        seed_itemsize=4,
+        fallback="int32",
+    ),
+    ArraySpec(
+        group="sharding",
+        structure="TopologyShard",
+        array="neighbors",
+        qualname="repro.overlay.sharding.partition_topology",
+        target="local:neighbors",
+        per_node=6.6,
+        seed_itemsize=4,
+        fallback="int32",
+    ),
     # Content-index postings: per-instance, scaled to per-node by the
     # trace's mean library size.
     ArraySpec(

@@ -26,12 +26,22 @@ from repro.overlay.gia import (
 )
 from repro.overlay.flooding import (
     DepthEntry,
+    DepthProvider,
     FloodDepthCache,
     FloodResult,
     flood,
     flood_depths,
     flood_depths_batch,
+    flood_depths_iter,
     reach_fractions,
+)
+from repro.overlay.sharding import (
+    ShardSet,
+    TopologyShard,
+    expand_shard,
+    flood_depths_sharded,
+    partition_topology,
+    sharded_bfs_entry,
 )
 from repro.overlay.messages import Guid, QueryHit, QueryMessage, guid_factory
 from repro.overlay.network import SearchOutcome, UnstructuredNetwork
@@ -62,7 +72,14 @@ from repro.overlay.shortcuts import (
     simulate_shortcuts,
 )
 from repro.overlay.replication import POLICIES, allocate_replicas, expected_search_size
-from repro.overlay.topology import Topology, flat_random, from_networkx, two_tier_gnutella
+from repro.overlay.topology import (
+    Topology,
+    edges_to_csr_stream,
+    flat_random,
+    from_networkx,
+    shard_bounds,
+    two_tier_gnutella,
+)
 
 __all__ = [
     "DEFAULT_WIRE",
@@ -110,12 +127,20 @@ __all__ = [
     "allocate_replicas",
     "expected_search_size",
     "DepthEntry",
+    "DepthProvider",
     "FloodDepthCache",
     "FloodResult",
     "flood",
     "flood_depths",
     "flood_depths_batch",
+    "flood_depths_iter",
     "reach_fractions",
+    "ShardSet",
+    "TopologyShard",
+    "expand_shard",
+    "flood_depths_sharded",
+    "partition_topology",
+    "sharded_bfs_entry",
     "Guid",
     "QueryHit",
     "QueryMessage",
@@ -125,7 +150,9 @@ __all__ = [
     "WalkResult",
     "random_walk",
     "Topology",
+    "edges_to_csr_stream",
     "flat_random",
     "from_networkx",
+    "shard_bounds",
     "two_tier_gnutella",
 ]

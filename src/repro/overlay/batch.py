@@ -33,7 +33,7 @@ import numpy as np
 
 from repro.obs import metrics
 from repro.overlay.content import QueryKey, SharedContentIndex, intersect_postings
-from repro.overlay.flooding import DEPTH_DTYPE, FloodDepthCache
+from repro.overlay.flooding import DEPTH_DTYPE, DepthProvider, FloodDepthCache
 from repro.overlay.topology import Topology
 
 __all__ = ["BatchOutcome", "BatchQueryEngine"]
@@ -223,6 +223,7 @@ class BatchQueryEngine:
         content: SharedContentIndex,
         *,
         flood_cache_entries: int = 256,
+        depth_provider: DepthProvider | None = None,
     ) -> None:
         if topology.n_nodes != content.n_peers:
             raise ValueError(
@@ -231,8 +232,16 @@ class BatchQueryEngine:
             )
         self.topology = topology
         self.content = content
+        # A depth provider (e.g. a ShardedFloodRunner) reroutes the
+        # cache's BFS through the shard-parallel driver; outcomes stay
+        # bitwise identical, so the serial evaluation path below needs
+        # no other change.  The chunk fan-out path keeps its worker-
+        # local single-segment caches — at the scales where sharding
+        # matters, the engine runs serial-with-sharded-BFS instead.
         self.flood_cache = FloodDepthCache(
-            topology, max_entries=flood_cache_entries
+            topology,
+            max_entries=flood_cache_entries,
+            provider=depth_provider,
         )
 
     def evaluate(

@@ -19,6 +19,7 @@ import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from functools import partial
+from typing import Iterator, Protocol
 
 import numpy as np
 
@@ -29,11 +30,13 @@ from repro.utils.stats import ragged_arange
 __all__ = [
     "DEPTH_DTYPE",
     "DepthEntry",
+    "DepthProvider",
     "FloodDepthCache",
     "FloodResult",
     "flood",
     "flood_depths",
     "flood_depths_batch",
+    "flood_depths_iter",
     "reach_fractions",
 ]
 
@@ -201,6 +204,19 @@ class DepthEntry:
         )
 
 
+class DepthProvider(Protocol):
+    """Anything that can compute one source's full-horizon BFS entry.
+
+    :class:`~repro.runtime.shards.ShardedFloodRunner` satisfies this,
+    which is how the depth cache (and everything built on it) runs its
+    BFS shard-parallel without the overlay layer importing the
+    runtime.  Implementations must be field-for-field equal to
+    ``FloodDepthCache._bfs`` for the cache's slicing contract to hold.
+    """
+
+    def bfs_entry(self, source: int, max_depth: int) -> "DepthEntry": ...
+
+
 class FloodDepthCache:
     """Bounded per-source cache of lossless flood depth maps.
 
@@ -214,24 +230,36 @@ class FloodDepthCache:
     beyond ``max_entries``; a request deeper than a stored horizon
     recomputes that source at the deeper horizon.
 
-    Only deterministic (lossless) floods are cacheable; ``p_loss``
-    floods must keep using :func:`flood_depths`.
+    A ``provider`` (e.g. a sharded runner) replaces the in-process BFS
+    as the entry source; ``topology`` may then be omitted.  Only
+    deterministic (lossless) floods are cacheable; ``p_loss`` floods
+    must keep using :func:`flood_depths`.
     """
 
-    def __init__(self, topology: Topology, *, max_entries: int = 256) -> None:
+    def __init__(
+        self,
+        topology: Topology | None = None,
+        *,
+        max_entries: int = 256,
+        provider: DepthProvider | None = None,
+    ) -> None:
         if max_entries < 1:
             raise ValueError("max_entries must be positive")
+        if topology is None and provider is None:
+            raise ValueError("need a topology or a depth provider")
         self.topology = topology
+        self.provider = provider
         self.max_entries = max_entries
         self._entries: "OrderedDict[int, DepthEntry]" = OrderedDict()
-        n = topology.n_nodes
-        # Reusable per-BFS scratch (reset costs a memset, not an alloc).
-        # Guarded by _scratch_lock: a second concurrent BFS would write
-        # into the same visited/frontier masks and silently corrupt
-        # both depth maps, so contended calls fall back to fresh
-        # allocations instead of sharing.
-        self._visited = np.zeros(n, dtype=bool)
-        self._level_mask = np.zeros(n, dtype=bool)
+        if topology is not None and provider is None:
+            n = topology.n_nodes
+            # Reusable per-BFS scratch (reset costs a memset, not an
+            # alloc).  Guarded by _scratch_lock: a second concurrent BFS
+            # would write into the same visited/frontier masks and
+            # silently corrupt both depth maps, so contended calls fall
+            # back to fresh allocations instead of sharing.
+            self._visited = np.zeros(n, dtype=bool)
+            self._level_mask = np.zeros(n, dtype=bool)
         self._scratch_lock = threading.Lock()
 
     def __len__(self) -> int:
@@ -266,6 +294,9 @@ class FloodDepthCache:
         to ``flood_depths(topology, source, t)`` for every
         ``t <= max_depth``.
         """
+        if self.provider is not None:
+            return self.provider.bfs_entry(source, max_depth)
+        assert self.topology is not None  # enforced in __init__
         if self._scratch_lock.acquire(blocking=False):
             try:
                 return self._bfs_with(
@@ -292,6 +323,7 @@ class FloodDepthCache:
         """The BFS body, writing into caller-owned scratch masks."""
         metrics().inc("flood.cache.bfs")
         topology = self.topology
+        assert topology is not None  # provider-less caches always have one
         n = topology.n_nodes
         depth = np.full(n, -1, dtype=DEPTH_DTYPE)
         visited[:] = False
@@ -352,6 +384,7 @@ def flood_depths_batch(
     max_depth: int,
     *,
     cache: FloodDepthCache | None = None,
+    provider: DepthProvider | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Depth maps and message counts of many floods in one call.
 
@@ -360,18 +393,17 @@ def flood_depths_batch(
     ``messages[i]`` its message count — bitwise identical to the
     per-source kernel, but repeated sources BFS once, and all floods
     share one scratch set.  Pass an existing ``cache`` to also reuse
-    BFS results across calls (e.g. expanding-ring schedules).
+    BFS results across calls (e.g. expanding-ring schedules), or a
+    ``provider`` (e.g. a sharded runner) to run the BFS elsewhere.
 
-    Note the row-per-source depth matrix costs
-    ``n_sources * n_nodes * 2`` bytes; workload-scale consumers should
-    use :class:`FloodDepthCache` directly (the batched query engine
-    does) and read per-query quantities off the shared entries.
+    The row-per-source depth matrix costs
+    ``n_sources * n_nodes * 2`` bytes; workload-scale consumers must
+    either use :func:`flood_depths_iter` (bounded chunks of rows) or
+    :class:`FloodDepthCache` directly (the batched query engine does)
+    and read per-query quantities off the shared entries.
     """
     sources = np.atleast_1d(np.asarray(sources, dtype=np.int64))
-    if cache is None:
-        cache = FloodDepthCache(
-            topology, max_entries=max(1, np.unique(sources).size)
-        )
+    cache = _batch_cache(topology, sources, cache, provider)
     depth = np.empty((sources.size, topology.n_nodes), dtype=DEPTH_DTYPE)
     messages = np.empty(sources.size, dtype=np.int64)
     for i, s in enumerate(sources):
@@ -379,6 +411,62 @@ def flood_depths_batch(
         depth[i] = entry.depth_at(max_depth)
         messages[i] = entry.messages(max_depth)
     return depth, messages
+
+
+def _batch_cache(
+    topology: Topology | None,
+    sources: np.ndarray,
+    cache: FloodDepthCache | None,
+    provider: DepthProvider | None,
+) -> FloodDepthCache:
+    """The depth cache a batch call evaluates against."""
+    if cache is not None:
+        return cache
+    return FloodDepthCache(
+        topology,
+        max_entries=max(1, np.unique(sources).size),
+        provider=provider,
+    )
+
+
+def flood_depths_iter(
+    sources: np.ndarray,
+    max_depth: int,
+    *,
+    topology: Topology | None = None,
+    cache: FloodDepthCache | None = None,
+    provider: DepthProvider | None = None,
+    chunk_size: int = 64,
+) -> Iterator[tuple[np.ndarray, np.ndarray, np.ndarray]]:
+    """Streaming :func:`flood_depths_batch`: bounded resident rows.
+
+    Yields ``(chunk_sources, depth, messages)`` triples where rows of
+    ``depth`` are the depth maps of ``chunk_sources`` (at most
+    ``chunk_size`` of them, in input order) — row-for-row bitwise
+    identical to the matrix :func:`flood_depths_batch` would build,
+    without ever materializing more than ``chunk_size * n_nodes``
+    depth entries.  Workload-scale consumers iterate and reduce;
+    repeated sources still BFS once via the shared ``cache`` (pass
+    one to also reuse results across calls).
+
+    Exactly one of ``topology``/``cache``/``provider`` must anchor the
+    BFS; ``chunk_size`` bounds peak memory, not the schedule — chunks
+    are contiguous slices of ``sources``.
+    """
+    if chunk_size < 1:
+        raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+    sources = np.atleast_1d(np.asarray(sources, dtype=np.int64))
+    if topology is None and cache is None and provider is None:
+        raise ValueError("need a topology, cache, or depth provider")
+    cache = _batch_cache(topology, sources, cache, provider)
+    for start in range(0, sources.size, chunk_size):
+        chunk = sources[start : start + chunk_size]
+        entries = [cache.entry(int(s), max_depth) for s in chunk]
+        depth = np.stack([e.depth_at(max_depth) for e in entries])
+        messages = np.asarray(
+            [e.messages(max_depth) for e in entries], dtype=np.int64
+        )
+        yield chunk, depth, messages
 
 
 def flood(

@@ -15,6 +15,21 @@ are written atomically (temp file + rename), so concurrent runs never
 observe a torn entry.  The global :data:`CACHE_VERSION` is folded into
 every digest: bumping it invalidates the whole cache at once.
 
+Array-heavy producers (see :data:`BLOB_PRODUCERS`) use the zero-copy
+**mmap-blob** format instead: a ``v<version>-<digest>.blob/``
+directory holding a ``skeleton.pkl`` (the object graph with every
+large ndarray replaced by a persistent-id stub) next to one raw
+``a<i>.npy`` file per extracted array.  Loading unpickles the
+skeleton and attaches each array via ``np.load(..., mmap_mode="r")``
+— the kernel pages CSR/posting data in on demand instead of
+deserializing gigabytes up front, so a million-node topology hit is
+sub-second and costs no private RSS until touched.  Blob-backed
+arrays are therefore *read-only* views; producers already treat
+cached artifacts as immutable.  Legacy ``.pkl`` entries written
+before a producer joined :data:`BLOB_PRODUCERS` still load (counted
+by the ``artifact_cache.legacy_pickle_hits`` metric) until
+re-written.
+
 Environment knobs:
 
 * ``REPRO_CACHE=off`` (or ``0``/``false``/``no``) disables the cache —
@@ -39,7 +54,9 @@ import numpy as np
 from repro.obs import get_logger, log_event, metrics
 
 __all__ = [
+    "BLOB_PRODUCERS",
     "CACHE_VERSION",
+    "CacheEntry",
     "CacheInfo",
     "cache_dir",
     "cache_enabled",
@@ -52,6 +69,18 @@ __all__ = [
 #: Global schema version, folded into every digest.  Bump to
 #: invalidate every cached artifact at once.
 CACHE_VERSION = 1
+
+#: Producers whose artifacts are dominated by large ndarrays and are
+#: stored in the zero-copy mmap-blob format by default.
+BLOB_PRODUCERS = frozenset({"fig8-topology", "content-index"})
+
+#: ndarrays at or above this size are extracted into raw ``.npy``
+#: blobs; smaller ones stay inline in the pickled skeleton.
+_BLOB_MIN_BYTES = 16 * 1024
+
+_BLOB_SUFFIX = ".blob"
+_SKELETON_NAME = "skeleton.pkl"
+_PERSISTENT_TAG = "repro-ndarray"
 
 _ENV_SWITCH = "REPRO_CACHE"
 _ENV_DIR = "REPRO_CACHE_DIR"
@@ -151,24 +180,129 @@ def _entry_path(name: str, version: int, digest: str) -> Path:
     return cache_dir() / name / f"v{version}-{digest}.pkl"
 
 
-def cached_call(name: str, version: int, digest: str, compute: Callable[[], T]) -> T:
+def _blob_path(name: str, version: int, digest: str) -> Path:
+    return cache_dir() / name / f"v{version}-{digest}{_BLOB_SUFFIX}"
+
+
+def _resolve_codec(name: str, codec: str | None) -> str:
+    if codec is None:
+        return "mmap-blob" if name in BLOB_PRODUCERS else "pickle"
+    if codec not in ("pickle", "mmap-blob"):
+        raise ValueError(f"unknown cache codec {codec!r}; use 'pickle' or 'mmap-blob'")
+    return codec
+
+
+class _BlobPickler(pickle.Pickler):
+    """Pickler that spills large ndarrays into sibling ``.npy`` files."""
+
+    def __init__(self, handle: Any, directory: Path) -> None:
+        super().__init__(handle, protocol=pickle.HIGHEST_PROTOCOL)
+        self._directory = directory
+        self._count = 0
+
+    def persistent_id(self, obj: Any) -> tuple[str, int] | None:
+        if (
+            isinstance(obj, np.ndarray)
+            and obj.dtype != object
+            and obj.nbytes >= _BLOB_MIN_BYTES
+        ):
+            index = self._count
+            self._count += 1
+            np.save(self._directory / f"a{index}.npy", np.ascontiguousarray(obj))
+            return (_PERSISTENT_TAG, index)
+        return None
+
+
+class _BlobUnpickler(pickle.Unpickler):
+    """Unpickler that resolves array stubs to read-only memmaps."""
+
+    def __init__(self, handle: Any, directory: Path) -> None:
+        super().__init__(handle)
+        self._directory = directory
+
+    def persistent_load(self, pid: Any) -> Any:
+        if not (
+            isinstance(pid, tuple) and len(pid) == 2 and pid[0] == _PERSISTENT_TAG
+        ):
+            raise pickle.UnpicklingError(f"unknown persistent id {pid!r}")
+        return np.load(
+            self._directory / f"a{pid[1]}.npy", mmap_mode="r", allow_pickle=False
+        )
+
+
+def _load_blob(blob: Path) -> Any:
+    with (blob / _SKELETON_NAME).open("rb") as handle:
+        return _BlobUnpickler(handle, blob).load()
+
+
+def _write_blob(blob: Path, value: Any) -> None:
+    """Materialize a blob entry atomically (temp dir + rename)."""
+    blob.parent.mkdir(parents=True, exist_ok=True)
+    temp = blob.with_name(blob.name + f".tmp-{os.getpid()}")
+    if temp.exists():
+        shutil.rmtree(temp)
+    temp.mkdir()
+    try:
+        with (temp / _SKELETON_NAME).open("wb") as handle:
+            _BlobPickler(handle, temp).dump(value)
+        if blob.exists():
+            # Only reached when the existing entry failed to load
+            # (corrupt); replace it wholesale.
+            shutil.rmtree(blob, ignore_errors=True)
+        os.replace(temp, blob)
+    except OSError:
+        # A concurrent writer won the rename race; its entry is
+        # equivalent (same name/version/digest), so keep it.
+        shutil.rmtree(temp, ignore_errors=True)
+
+
+_READ_ERRORS = (pickle.UnpicklingError, EOFError, AttributeError, OSError, ValueError)
+
+
+def cached_call(
+    name: str,
+    version: int,
+    digest: str,
+    compute: Callable[[], T],
+    *,
+    codec: str | None = None,
+) -> T:
     """Return the cached artifact for ``(name, version, digest)``.
 
-    On a miss (or with the cache disabled) runs ``compute()``; hits
-    deserialize a fresh object, so callers never alias each other's
-    results.  Unreadable entries (torn writes from a crash, pickle
-    format drift) are treated as misses and overwritten.
+    On a miss (or with the cache disabled) runs ``compute()``.  Pickle
+    hits deserialize a fresh object, so callers never alias each
+    other's results; mmap-blob hits (producers in
+    :data:`BLOB_PRODUCERS`, or ``codec="mmap-blob"``) share read-only
+    pages of the large arrays through the OS page cache instead.
+    Unreadable entries (torn writes from a crash, pickle format drift)
+    are treated as misses and overwritten.  ``codec=None`` picks the
+    registered format for ``name``.
     """
     registry = metrics()
     if not cache_enabled():
         registry.inc("artifact_cache.disabled_calls")
         return compute()
+    chosen = _resolve_codec(name, codec)
     path = _entry_path(name, version, digest)
-    if path.is_file():
+    blob = _blob_path(name, version, digest)
+    if chosen == "mmap-blob" and blob.is_dir():
+        try:
+            value = _load_blob(blob)
+        except _READ_ERRORS as exc:
+            registry.inc("artifact_cache.corrupt")
+            log_event(
+                _log, "artifact_cache.corrupt",
+                producer=name, path=str(blob), error=exc,
+            )
+        else:
+            registry.inc("artifact_cache.hits")
+            registry.inc("artifact_cache.mmap_hits")
+            return value  # type: ignore[no-any-return]
+    elif path.is_file():
         try:
             with path.open("rb") as handle:
                 value = pickle.load(handle)
-        except (pickle.UnpicklingError, EOFError, AttributeError, OSError) as exc:
+        except _READ_ERRORS as exc:
             # Torn write from a crash or pickle drift: recompute below.
             registry.inc("artifact_cache.corrupt")
             log_event(
@@ -177,15 +311,31 @@ def cached_call(name: str, version: int, digest: str, compute: Callable[[], T]) 
             )
         else:
             registry.inc("artifact_cache.hits")
+            if chosen == "mmap-blob":
+                # Entry predates the producer's blob registration.
+                registry.inc("artifact_cache.legacy_pickle_hits")
             return value  # type: ignore[no-any-return]
     registry.inc("artifact_cache.misses")
     value = compute()
+    if chosen == "mmap-blob":
+        _write_blob(blob, value)
+        return value
     path.parent.mkdir(parents=True, exist_ok=True)
     temp = path.with_name(path.name + f".tmp-{os.getpid()}")
     with temp.open("wb") as handle:
         pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
     os.replace(temp, path)
     return value
+
+
+@dataclass(frozen=True)
+class CacheEntry:
+    """One on-disk artifact: where it lives and how it is encoded."""
+
+    producer: str
+    key: str  # "v<version>-<digest>"
+    format: str  # "pickle" | "mmap-blob"
+    n_bytes: int
 
 
 @dataclass(frozen=True)
@@ -198,25 +348,52 @@ class CacheInfo:
     total_bytes: int
     #: entry count per producer name.
     sections: dict[str, int]
+    #: every entry, sorted by (producer, key).
+    entries: tuple[CacheEntry, ...] = ()
+
+
+def _scan_entries(root: Path) -> list[CacheEntry]:
+    found: list[CacheEntry] = []
+    for entry in root.glob("*/*.pkl"):
+        if ".tmp-" in entry.name:
+            continue
+        found.append(
+            CacheEntry(
+                producer=entry.parent.name,
+                key=entry.name.removesuffix(".pkl"),
+                format="pickle",
+                n_bytes=entry.stat().st_size,
+            )
+        )
+    for entry in root.glob(f"*/*{_BLOB_SUFFIX}"):
+        if not entry.is_dir() or ".tmp-" in entry.name:
+            continue
+        found.append(
+            CacheEntry(
+                producer=entry.parent.name,
+                key=entry.name.removesuffix(_BLOB_SUFFIX),
+                format="mmap-blob",
+                n_bytes=sum(f.stat().st_size for f in entry.iterdir() if f.is_file()),
+            )
+        )
+    found.sort(key=lambda e: (e.producer, e.key))
+    return found
 
 
 def cache_info() -> CacheInfo:
     """Inventory the cache directory (cheap: stats only)."""
     root = cache_dir()
-    n_entries = 0
-    total_bytes = 0
+    entries: list[CacheEntry] = _scan_entries(root) if root.is_dir() else []
     sections: dict[str, int] = {}
-    if root.is_dir():
-        for entry in sorted(root.glob("*/*.pkl")):
-            n_entries += 1
-            total_bytes += entry.stat().st_size
-            sections[entry.parent.name] = sections.get(entry.parent.name, 0) + 1
+    for entry in entries:
+        sections[entry.producer] = sections.get(entry.producer, 0) + 1
     return CacheInfo(
         path=str(root),
         enabled=cache_enabled(),
-        n_entries=n_entries,
-        total_bytes=total_bytes,
+        n_entries=len(entries),
+        total_bytes=sum(e.n_bytes for e in entries),
         sections=sections,
+        entries=tuple(entries),
     )
 
 

@@ -1,0 +1,306 @@
+"""Sharded shared-memory transport + process-parallel flood driver.
+
+:class:`ShardedTopology` publishes a
+:class:`~repro.overlay.sharding.ShardSet` with one shared-memory
+segment *per shard array* (local offsets + neighbors per node range,
+one global forwards mask), instead of the single-segment
+:class:`~repro.runtime.shm.SharedTopology` layout.  Per-shard segments
+keep every mapping under the int32 entry ceiling, let a worker map
+only the shards it expands, and are the unit the boundary-edge index
+(``boundary_counts``) describes.
+
+:class:`ShardedFloodRunner` drives the shard-parallel BFS of
+:mod:`repro.overlay.sharding` over a *persistent* worker pool: every
+BFS level, each shard's frontier slice is submitted as one task
+(local CSR gather + dedup in the worker), and the level barrier —
+the frontier exchange — merges the returned sorted-unique target
+sets on the coordinator.  Results are merged in shard order, so the
+output is bitwise identical to the serial sharded driver, which is
+itself bitwise identical to the single-segment kernel (see
+:mod:`repro.overlay.sharding`).  The pool persists across floods
+because a Fig. 8 run issues hundreds of them — one pool per flood
+would pay process start-up per BFS.
+
+The runner also implements the ``bfs_entry`` provider hook of
+:class:`~repro.overlay.flooding.FloodDepthCache`, so the depth cache
+and :class:`~repro.overlay.batch.BatchQueryEngine` can run their BFS
+sharded without knowing about this module.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.obs import metrics, span
+from repro.overlay.flooding import DepthEntry
+from repro.overlay.sharding import (
+    ExpandResult,
+    ShardSet,
+    TopologyShard,
+    expand_shard,
+    flood_depths_sharded,
+    partition_topology,
+    sharded_bfs_entry,
+)
+from repro.overlay.topology import Topology
+from repro.runtime.parallel import _mp_context, resolve_workers
+from repro.runtime.shm import (
+    SharedArraySpec,
+    _ATTACHED,
+    _SEGMENTS,
+    _SharedArrayOwner,
+    _attach_arrays,
+    _export,
+)
+
+__all__ = [
+    "ShardSpec",
+    "ShardedFloodRunner",
+    "ShardedTopology",
+    "ShardedTopologySpec",
+    "attach_shard_set",
+]
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """Addresses of one shard's CSR arrays plus its node range."""
+
+    lo: int
+    hi: int
+    offsets: SharedArraySpec
+    neighbors: SharedArraySpec
+
+
+@dataclass(frozen=True)
+class ShardedTopologySpec:
+    """Picklable address of a published :class:`ShardSet`.
+
+    ``bounds`` and ``boundary_counts`` are value-carried (they are
+    O(shards) and O(shards^2) metadata, not per-node arrays), so
+    attaching never touches a segment for them.
+    """
+
+    bounds: tuple[int, ...]
+    forwards: SharedArraySpec
+    shards: tuple[ShardSpec, ...]
+    boundary_counts: tuple[tuple[int, ...], ...]
+
+
+class ShardedTopology(_SharedArrayOwner):
+    """Owner handle for a shard set published to shared memory.
+
+    Accepts either a pre-partitioned :class:`ShardSet` or a
+    :class:`Topology` plus ``n_shards``.  As with
+    :class:`~repro.runtime.shm.SharedTopology`, the owner pre-seeds
+    the attachment cache with views over the published segments, so
+    the owning process (and fork-started workers) read the exact bytes
+    the spec addresses.
+    """
+
+    spec: ShardedTopologySpec
+
+    def __init__(
+        self, source: Topology | ShardSet, *, n_shards: int | None = None
+    ) -> None:
+        if isinstance(source, ShardSet):
+            if n_shards is not None and n_shards != source.n_shards:
+                raise ValueError(
+                    f"source is already partitioned into {source.n_shards} "
+                    f"shards; n_shards={n_shards} conflicts"
+                )
+            shard_set = source
+        else:
+            shard_set = partition_topology(source, n_shards or 1)
+        with span("shard.publish", shards=shard_set.n_shards):
+            segments = []
+            fwd_spec, fwd_seg, fwd_view = _export(
+                np.ascontiguousarray(shard_set.forwards)
+            )
+            segments.append(fwd_seg)
+            shard_specs: list[ShardSpec] = []
+            shard_views: list[TopologyShard] = []
+            for shard in shard_set.shards:
+                off_spec, off_seg, off_view = _export(
+                    np.ascontiguousarray(shard.offsets)
+                )
+                nbr_spec, nbr_seg, nbr_view = _export(
+                    np.ascontiguousarray(shard.neighbors)
+                )
+                segments.extend((off_seg, nbr_seg))
+                shard_specs.append(
+                    ShardSpec(shard.lo, shard.hi, off_spec, nbr_spec)
+                )
+                shard_views.append(
+                    TopologyShard(shard.lo, shard.hi, off_view, nbr_view)
+                )
+        self.spec = ShardedTopologySpec(
+            bounds=tuple(int(b) for b in shard_set.bounds),
+            forwards=fwd_spec,
+            shards=tuple(shard_specs),
+            boundary_counts=tuple(
+                tuple(int(c) for c in row) for row in shard_set.boundary_counts
+            ),
+        )
+        self._segments = segments
+        self._closed = False
+        _ATTACHED[self.spec] = ShardSet(
+            bounds=np.asarray(self.spec.bounds, dtype=np.int64),
+            forwards=fwd_view,
+            shards=tuple(shard_views),
+            boundary_counts=np.asarray(self.spec.boundary_counts, dtype=np.int64),
+        )
+
+    def __enter__(self) -> "ShardedTopology":
+        return self
+
+    @property
+    def shard_set(self) -> ShardSet:
+        """The view-backed shard set over the published segments."""
+        return attach_shard_set(self.spec)
+
+
+def attach_shard_set(spec: ShardedTopologySpec) -> ShardSet:
+    """Map a published shard set into this process (cached, read-only)."""
+    cached = _ATTACHED.get(spec)
+    if cached is not None:
+        assert isinstance(cached, ShardSet)
+        return cached
+    flat_specs = [spec.forwards]
+    for shard in spec.shards:
+        flat_specs.extend((shard.offsets, shard.neighbors))
+    arrays, segments = _attach_arrays(tuple(flat_specs))
+    shards = tuple(
+        TopologyShard(s.lo, s.hi, arrays[1 + 2 * i], arrays[2 + 2 * i])
+        for i, s in enumerate(spec.shards)
+    )
+    shard_set = ShardSet(
+        bounds=np.asarray(spec.bounds, dtype=np.int64),
+        forwards=arrays[0],
+        shards=shards,
+        boundary_counts=np.asarray(spec.boundary_counts, dtype=np.int64),
+    )
+    _ATTACHED[spec] = shard_set
+    _SEGMENTS[spec] = segments
+    return shard_set
+
+
+def _expand_task(
+    spec: ShardedTopologySpec, shard_index: int, senders: np.ndarray
+) -> ExpandResult:
+    """Worker task: one shard's level expansion against shared memory."""
+    shard_set = attach_shard_set(spec)
+    return expand_shard(shard_set.shards[shard_index], senders)
+
+
+class ShardedFloodRunner:
+    """Shard-parallel flood driver with a persistent worker pool.
+
+    ``n_workers <= 1`` (or a single shard) expands in-process —
+    identical arrays, identical arithmetic, no pool, no shm publish.
+    Otherwise the shard set is published once and a pool of
+    ``min(n_workers, n_shards)`` processes expands shard frontiers
+    concurrently; the per-level merge order is fixed (shard 0, 1, ...),
+    so every worker count is bitwise identical.
+
+    Use as a context manager, or call :meth:`close`; the runner owns
+    its pool and (when parallel) its published segments.
+    """
+
+    def __init__(
+        self,
+        source: Topology | ShardSet,
+        *,
+        n_shards: int | None = None,
+        n_workers: int = 1,
+    ) -> None:
+        if isinstance(source, ShardSet):
+            shard_set = source
+        else:
+            shard_set = partition_topology(source, n_shards or 1)
+        self.n_workers = min(resolve_workers(n_workers), shard_set.n_shards)
+        self._share: ShardedTopology | None = None
+        self._pool: ProcessPoolExecutor | None = None
+        self._closed = False
+        if self.n_workers > 1:
+            self._share = ShardedTopology(shard_set)
+            shard_set = self._share.shard_set
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.n_workers, mp_context=_mp_context()
+            )
+        self.shard_set = shard_set
+
+    @property
+    def n_nodes(self) -> int:
+        """Node count of the underlying topology."""
+        return self.shard_set.n_nodes
+
+    @property
+    def n_shards(self) -> int:
+        """Shard count."""
+        return self.shard_set.n_shards
+
+    def _expand(self, parts: Sequence[np.ndarray]) -> list[ExpandResult]:
+        """One level's frontier exchange over the pool."""
+        assert self._pool is not None and self._share is not None
+        empty = np.empty(0, dtype=np.int64)
+        results: list[ExpandResult] = [(empty, 0, 0)] * len(parts)
+        futures = {
+            self._pool.submit(_expand_task, self._share.spec, s, senders): s
+            for s, senders in enumerate(parts)
+            if senders.size
+        }
+        for future, s in futures.items():
+            results[s] = future.result()
+        metrics().inc("shard.exchange.rounds")
+        return results
+
+    def flood_depths(
+        self, sources: np.ndarray | int, max_depth: int
+    ) -> tuple[np.ndarray, int]:
+        """Sharded :func:`~repro.overlay.flooding.flood_depths`."""
+        self._check_open()
+        expand = self._expand if self._pool is not None else None
+        with span(
+            "shard.flood", shards=self.n_shards, workers=self.n_workers
+        ):
+            return flood_depths_sharded(
+                self.shard_set, sources, max_depth, expand=expand
+            )
+
+    def bfs_entry(self, source: int, max_depth: int) -> DepthEntry:
+        """Provider hook for :class:`~repro.overlay.flooding.FloodDepthCache`."""
+        self._check_open()
+        expand = self._expand if self._pool is not None else None
+        with span(
+            "shard.bfs_entry", shards=self.n_shards, workers=self.n_workers
+        ):
+            return sharded_bfs_entry(
+                self.shard_set, source, max_depth, expand=expand
+            )
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("ShardedFloodRunner is closed")
+
+    def close(self) -> None:
+        """Shut the pool down and unlink the published segments."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        if self._share is not None:
+            self._share.close()
+            self._share = None
+
+    def __enter__(self) -> "ShardedFloodRunner":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

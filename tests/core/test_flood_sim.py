@@ -192,3 +192,47 @@ class TestQueryModels:
         assert PlacementSpec(kind="uniform", n_replicas=4).label() == "Uniform (4 replicas)"
         assert PlacementSpec().label() == "Zipf"
         assert "mismatch" in PlacementSpec(query_model="mismatch").label()
+
+
+class TestShardedFig8:
+    """n_shards is an execution knob: bitwise-identical, digest-excluded."""
+
+    SMALL = dict(
+        topology=Fig8TopologyConfig(n_nodes=3_000),
+        ttls=(1, 2, 3),
+        n_eval_objects=12,
+        uniform_replicas=(1, 4),
+    )
+
+    def test_shard_count_independent(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE", "off")
+        plain = run_fig8(FloodSimConfig(**self.SMALL, n_shards=1))
+        sharded = run_fig8(FloodSimConfig(**self.SMALL, n_shards=3))
+        assert [c.label for c in plain.curves] == [c.label for c in sharded.curves]
+        for a, b in zip(plain.curves, sharded.curves):
+            np.testing.assert_array_equal(a.success, b.success)
+
+    def test_sharded_and_parallel(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE", "off")
+        plain = run_fig8(FloodSimConfig(**self.SMALL))
+        sharded = run_fig8(
+            FloodSimConfig(**self.SMALL, n_shards=2, n_workers=2)
+        )
+        for a, b in zip(plain.curves, sharded.curves):
+            np.testing.assert_array_equal(a.success, b.success)
+
+    def test_cache_key_ignores_n_shards(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        run_fig8(FloodSimConfig(**self.SMALL, n_shards=1))
+        from repro.runtime.cache import cache_info
+
+        before = cache_info().n_entries
+        run_fig8(FloodSimConfig(**self.SMALL, n_shards=2))
+        assert cache_info().n_entries == before
+
+    def test_streamed_topology_config_changes_digest(self):
+        from repro.runtime.cache import config_digest
+
+        a = config_digest(Fig8TopologyConfig(n_nodes=3_000))
+        b = config_digest(Fig8TopologyConfig(n_nodes=3_000, edge_block=4_096))
+        assert a != b

@@ -197,3 +197,137 @@ class TestIndexDtypeBounds:
         topo = from_networkx(g)
         assert topo.n_edges == 59
         assert topo.neighbors.dtype == np.dtype(np.int8)
+
+
+class TestStreamingCsr:
+    """edges_to_csr_stream must equal the batch builder's adjacency."""
+
+    @staticmethod
+    def _blocks_from(edges, block=37):
+        def make_blocks():
+            for start in range(0, edges.shape[0], block):
+                yield edges[start : start + block]
+
+        return make_blocks
+
+    @staticmethod
+    def _sample_edges(n_nodes, n_edges, seed):
+        from repro.utils.rng import make_rng
+
+        rng = make_rng(seed)
+        return rng.integers(0, n_nodes, size=(n_edges, 2), dtype=np.int64)
+
+    def test_independent_of_shard_count(self):
+        edges = self._sample_edges(500, 2_000, seed=2)
+        reference = None
+        for n_shards in (1, 2, 5, 64, 1_000):
+            offsets, neighbors = topology_module.edges_to_csr_stream(
+                500, self._blocks_from(edges), n_shards=n_shards
+            )
+            if reference is None:
+                reference = (offsets, neighbors)
+            else:
+                assert np.array_equal(offsets, reference[0])
+                assert np.array_equal(neighbors, reference[1])
+
+    def test_same_adjacency_sets_as_batch(self):
+        edges = self._sample_edges(400, 1_500, seed=3)
+        b_off, b_nbr = topology_module._edges_to_csr(400, edges)
+        s_off, s_nbr = topology_module.edges_to_csr_stream(
+            400, self._blocks_from(edges), n_shards=7
+        )
+        assert np.array_equal(s_off, b_off)
+        assert s_off.dtype == topology_module.INDEX_DTYPE
+        assert s_nbr.dtype == topology_module.INDEX_DTYPE
+        for v in range(400):
+            lo, hi = b_off[v], b_off[v + 1]
+            assert np.array_equal(
+                np.sort(b_nbr[lo:hi]), s_nbr[s_off[v] : s_off[v + 1]]
+            )
+
+    def test_flood_results_bitwise_equal(self):
+        from repro.overlay.flooding import flood_depths
+
+        edges = self._sample_edges(300, 1_000, seed=4)
+        forwards = np.ones(300, dtype=bool)
+        batch = Topology(*topology_module._edges_to_csr(300, edges), forwards)
+        stream = Topology(
+            *topology_module.edges_to_csr_stream(
+                300, self._blocks_from(edges), n_shards=4
+            ),
+            forwards,
+        )
+        ref = flood_depths(batch, 0, 6)
+        got = flood_depths(stream, 0, 6)
+        assert np.array_equal(got[0], ref[0]) and got[1] == ref[1]
+
+    def test_rejects_bad_block_shape(self):
+        def make_blocks():
+            yield np.zeros((3, 3), dtype=np.int64)
+
+        with pytest.raises(ValueError, match=r"\(m, 2\)"):
+            topology_module.edges_to_csr_stream(10, make_blocks)
+
+    def test_too_many_nodes_raises(self, monkeypatch):
+        monkeypatch.setattr(topology_module, "INDEX_DTYPE", np.dtype(np.int8))
+        with pytest.raises(OverflowError, match="200 nodes exceed"):
+            topology_module.edges_to_csr_stream(200, lambda: iter(()))
+
+    def test_per_shard_guard_names_the_shard(self, monkeypatch):
+        monkeypatch.setattr(topology_module, "INDEX_DTYPE", np.dtype(np.int8))
+        edges = self._sample_edges(100, 400, seed=5)
+        with pytest.raises(OverflowError) as exc:
+            topology_module.edges_to_csr_stream(
+                100, self._blocks_from(edges), n_shards=1
+            )
+        message = str(exc.value)
+        assert "shard 0" in message
+        assert "int8" in message
+        assert "more shards" in message
+
+    def test_enough_shards_pass_the_per_shard_guard(self, monkeypatch):
+        # With int16 the per-shard guard clears once shards are small
+        # enough, but the *total* guard still rejects the global CSR.
+        monkeypatch.setattr(topology_module, "INDEX_DTYPE", np.dtype(np.int16))
+        edges = self._sample_edges(2_000, 30_000, seed=6)
+        with pytest.raises(OverflowError, match="widen INDEX_DTYPE"):
+            topology_module.edges_to_csr_stream(
+                2_000, self._blocks_from(edges), n_shards=64
+            )
+
+
+class TestStreamingTwoTier:
+    def test_deterministic_in_seed_and_block(self):
+        a = two_tier_gnutella(800, seed=13, edge_block=97)
+        b = two_tier_gnutella(800, seed=13, edge_block=97)
+        assert np.array_equal(a.offsets, b.offsets)
+        assert np.array_equal(a.neighbors, b.neighbors)
+        assert np.array_equal(a.forwards, b.forwards)
+
+    def test_structure_matches_the_batch_draw(self):
+        streamed = two_tier_gnutella(800, seed=13, edge_block=97)
+        batch = two_tier_gnutella(800, seed=13)
+        # Same tier split and leaf degree law, different edge sample.
+        assert np.array_equal(streamed.forwards, batch.forwards)
+        n_up = int(streamed.forwards.sum())
+        leaf_degrees = streamed.degree()[n_up:]
+        assert (leaf_degrees >= 3).all()
+        assert_symmetric(streamed)
+
+    def test_leaves_attach_to_distinct_ultrapeers(self):
+        topo = two_tier_gnutella(400, seed=7, edge_block=50)
+        n_up = int(topo.forwards.sum())
+        for leaf in range(n_up, 400):
+            neigh = topo.neighbors_of(leaf)
+            assert (neigh < n_up).all()
+            assert np.unique(neigh).size == neigh.size
+
+    def test_generator_seed_rejected(self):
+        from repro.utils.rng import make_rng
+
+        with pytest.raises(TypeError, match="integer seed"):
+            two_tier_gnutella(100, seed=make_rng(1), edge_block=10)
+
+    def test_nonpositive_edge_block_rejected(self):
+        with pytest.raises(ValueError, match="edge_block"):
+            two_tier_gnutella(100, seed=1, edge_block=0)

@@ -15,6 +15,7 @@ from repro.runtime.cache import (
     clear_cache,
     config_digest,
 )
+from repro.utils.rng import make_rng
 
 
 @dataclass(frozen=True)
@@ -140,3 +141,138 @@ class TestInfoAndClear:
         assert clear_cache() == 1
         assert cache_info().n_entries == 0
         assert clear_cache() == 0
+
+
+class TestMmapBlobCodec:
+    """The zero-copy format for array-heavy producers."""
+
+    @staticmethod
+    def _payload(seed=0):
+        rng = make_rng(seed)
+        return {
+            "big": rng.integers(0, 1_000, size=50_000, dtype=np.int64),
+            "small": np.arange(8),
+            "scalar": 7,
+        }
+
+    def test_roundtrip_returns_readonly_memmaps(self, isolated_cache):
+        digest = config_digest(_Cfg())
+        first = cached_call("blob-unit", 1, digest, self._payload, codec="mmap-blob")
+        second = cached_call(
+            "blob-unit", 1, digest, self._payload, codec="mmap-blob"
+        )
+        assert isinstance(second["big"], np.memmap)
+        assert not second["big"].flags.writeable
+        # Small arrays stay inline (and writable) in the skeleton.
+        assert not isinstance(second["small"], np.memmap)
+        np.testing.assert_array_equal(first["big"], second["big"])
+        np.testing.assert_array_equal(first["small"], second["small"])
+        assert second["scalar"] == 7
+
+    def test_blob_dir_layout(self, isolated_cache):
+        digest = config_digest(_Cfg())
+        cached_call("blob-unit", 3, digest, self._payload, codec="mmap-blob")
+        (blob,) = (isolated_cache / "blob-unit").glob("*.blob")
+        assert blob.is_dir()
+        assert (blob / "skeleton.pkl").is_file()
+        assert (blob / "a0.npy").is_file()
+
+    def test_registered_producers_default_to_blob(self, isolated_cache):
+        from repro.runtime.cache import BLOB_PRODUCERS
+
+        assert "fig8-topology" in BLOB_PRODUCERS
+        assert "content-index" in BLOB_PRODUCERS
+        digest = config_digest(_Cfg())
+        cached_call("fig8-topology", 1, digest, self._payload)
+        entries = (isolated_cache / "fig8-topology").glob("*.blob")
+        assert len(list(entries)) == 1
+
+    def test_legacy_pickle_entry_still_loads(self, isolated_cache):
+        import pickle
+
+        legacy_dir = isolated_cache / "fig8-topology"
+        legacy_dir.mkdir()
+        with (legacy_dir / "v1-feed.pkl").open("wb") as handle:
+            pickle.dump({"legacy": True}, handle)
+
+        def fail() -> dict:
+            raise AssertionError("legacy entry must be served, not recomputed")
+
+        assert cached_call("fig8-topology", 1, "feed", fail) == {"legacy": True}
+
+    def test_corrupt_blob_recomputed_and_healed(self, isolated_cache):
+        digest = config_digest(_Cfg())
+        calls: list[int] = []
+
+        def compute():
+            calls.append(1)
+            return self._payload()
+
+        cached_call("blob-unit", 1, digest, compute, codec="mmap-blob")
+        (blob,) = (isolated_cache / "blob-unit").glob("*.blob")
+        (blob / "skeleton.pkl").write_bytes(b"garbage")
+        cached_call("blob-unit", 1, digest, compute, codec="mmap-blob")
+        assert calls == [1, 1]
+        healed = cached_call("blob-unit", 1, digest, compute, codec="mmap-blob")
+        assert calls == [1, 1]
+        np.testing.assert_array_equal(healed["big"], self._payload()["big"])
+
+    def test_missing_array_file_recomputed(self, isolated_cache):
+        digest = config_digest(_Cfg())
+        cached_call("blob-unit", 1, digest, self._payload, codec="mmap-blob")
+        (blob,) = (isolated_cache / "blob-unit").glob("*.blob")
+        (blob / "a0.npy").unlink()
+        calls: list[int] = []
+
+        def compute():
+            calls.append(1)
+            return self._payload()
+
+        cached_call("blob-unit", 1, digest, compute, codec="mmap-blob")
+        assert calls == [1]
+
+    def test_version_bump_invalidates_blobs(self, isolated_cache):
+        digest = config_digest(_Cfg())
+        calls: list[int] = []
+
+        def compute():
+            calls.append(1)
+            return self._payload()
+
+        cached_call("blob-unit", 1, digest, compute, codec="mmap-blob")
+        cached_call("blob-unit", 2, digest, compute, codec="mmap-blob")
+        assert calls == [1, 1]
+
+    def test_unknown_codec_rejected(self, isolated_cache):
+        with pytest.raises(ValueError, match="codec"):
+            cached_call("unit", 1, "d", lambda: 1, codec="json")
+
+    def test_info_reports_formats_and_sizes(self, isolated_cache):
+        cached_call("blob-unit", 1, config_digest(1), self._payload, codec="mmap-blob")
+        cached_call("plain", 1, config_digest(2), lambda: "x")
+        info = cache_info()
+        assert info.n_entries == 2
+        formats = {e.producer: e.format for e in info.entries}
+        assert formats == {"blob-unit": "mmap-blob", "plain": "pickle"}
+        blob_entry = next(e for e in info.entries if e.producer == "blob-unit")
+        assert blob_entry.n_bytes > 50_000 * 8  # the raw array is on disk
+        assert info.total_bytes == sum(e.n_bytes for e in info.entries)
+
+    def test_clear_removes_blobs(self, isolated_cache):
+        cached_call("blob-unit", 1, config_digest(1), self._payload, codec="mmap-blob")
+        assert clear_cache() == 1
+        assert cache_info().n_entries == 0
+
+    def test_topology_roundtrips_through_blobs(self, isolated_cache):
+        from repro.overlay.flooding import flood_depths
+        from repro.overlay.topology import two_tier_gnutella
+
+        make = lambda: two_tier_gnutella(2_000, seed=5)
+        digest = config_digest(2_000, 5)
+        built = cached_call("fig8-topology", 1, digest, make)
+        loaded = cached_call("fig8-topology", 1, digest, make)
+        assert isinstance(loaded.neighbors, np.memmap)
+        ref = flood_depths(built, 0, 5)
+        got = flood_depths(loaded, 0, 5)
+        np.testing.assert_array_equal(got[0], ref[0])
+        assert got[1] == ref[1]
