@@ -19,6 +19,7 @@ from conftest import peak_rss_bytes
 
 from repro.dht.chord import ChordRing
 from repro.overlay.batch import BatchQueryEngine
+from repro.overlay.content import intersect_postings, intersect_postings_batch
 from repro.overlay.flooding import flood_depths
 from repro.overlay.network import UnstructuredNetwork
 from repro.overlay.topology import two_tier_gnutella
@@ -182,6 +183,53 @@ def test_perf_match_batch_1k(benchmark, bundle, content):
     matches = benchmark(content.match_batch, queries)
     assert matches.n_queries == 1_000
     assert matches.n_distinct < 1_000  # the Zipf repeats dedup
+
+
+def test_perf_intersect_batch_1k(benchmark, bundle, content):
+    """Distinct-miss AND-intersection: batch kernel vs per-key loop.
+
+    The same 1,000-query Zipf replay as above, reduced to what
+    ``match_batch`` actually computes on a cold cache: the distinct
+    canonical keys.  The batch kernel must beat looping
+    ``intersect_postings`` per key; at this bundle scale the workload
+    is call-overhead-bound, so the hard >=5x bar lives in the nightly
+    million-peer bench (``bench_scale_content.py``) where element work
+    dominates — here the bar only catches regressions below the loop.
+    """
+    workload = bundle.workload
+    rng = make_rng(29)
+    picks = rng.integers(0, workload.n_queries, size=1_000)
+    seen = set()
+    keys = []
+    for q in picks:
+        key = content.query_key(workload.query_words(int(q)))
+        if key is not None and key not in seen:
+            seen.add(key)
+            keys.append(key)
+    dense = content.dense_postings()
+
+    t0 = time.perf_counter()
+    expected = [
+        intersect_postings(dense.posting_offsets, dense.posting_instances, key)
+        for key in keys
+    ]
+    scalar_s = time.perf_counter() - t0
+
+    rows = benchmark(intersect_postings_batch, dense, keys)
+    t0 = time.perf_counter()
+    intersect_postings_batch(dense, keys)
+    batch_s = time.perf_counter() - t0
+
+    assert len(rows) == len(keys)
+    for i in (0, len(keys) // 2, len(keys) - 1):
+        np.testing.assert_array_equal(rows[i], expected[i])
+    speedup = scalar_s / batch_s
+    benchmark.extra_info["distinct_keys"] = len(keys)
+    benchmark.extra_info["scalar_s"] = round(scalar_s, 4)
+    benchmark.extra_info["speedup_vs_scalar"] = round(speedup, 2)
+    print(f"\n1k-replay intersection: per-key {scalar_s * 1e3:.2f}ms, "
+          f"batch {batch_s * 1e3:.2f}ms, speedup {speedup:.2f}x")
+    assert speedup >= 1.2
 
 
 def test_perf_intern_bulk(benchmark):

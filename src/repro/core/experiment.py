@@ -102,7 +102,9 @@ class TraceBundle:
 
 
 #: Bump when the trace generators change meaning.
-_BUNDLE_CACHE_VERSION = 1
+#: v2: posting/instance arrays narrowed to INDEX_DTYPE and the bundle
+#: joined the mmap-blob codec.
+_BUNDLE_CACHE_VERSION = 2
 
 
 def build_trace_bundle(
@@ -138,11 +140,17 @@ def build_trace_bundle(
 
 
 #: Bump when SharedContentIndex construction (tokenization, posting
-#: layout) changes meaning.
-_CONTENT_CACHE_VERSION = 1
+#: layout) changes meaning.  v2: posting arrays narrowed to
+#: INDEX_DTYPE.
+_CONTENT_CACHE_VERSION = 2
 
 
-def build_content_index(trace: GnutellaShareTrace) -> SharedContentIndex:
+def build_content_index(
+    trace: GnutellaShareTrace,
+    *,
+    stream_block: int | None = None,
+    n_shards: int = 1,
+) -> SharedContentIndex:
     """Build (or load) the content index over a share trace.
 
     Tokenizing every observed name dominates index construction at
@@ -150,10 +158,18 @@ def build_content_index(trace: GnutellaShareTrace) -> SharedContentIndex:
     cache, keyed on the trace's config digest — valid because the
     trace is a pure function of its configs (``REPRO_CACHE=off``
     disables; see :mod:`repro.runtime.cache`).
+
+    ``stream_block`` / ``n_shards`` are pure execution knobs of the
+    streaming builder (see :class:`SharedContentIndex`): every setting
+    produces bitwise-identical arrays, so they are deliberately *not*
+    part of the cache key — a cache hit serves the same index however
+    it was first built.
     """
     return cached_call(
         "content-index",
         _CONTENT_CACHE_VERSION,
         config_digest(trace.catalog.config, trace.config),
-        lambda: SharedContentIndex(trace),
+        lambda: SharedContentIndex(
+            trace, stream_block=stream_block, n_shards=n_shards
+        ),
     )

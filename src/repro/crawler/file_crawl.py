@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.tracegen.gnutella_trace import GnutellaShareTrace
 from repro.utils.rng import make_rng
+from repro.utils.stats import encode_pairs
 
 __all__ = ["FileCrawlResult", "crawl_files"]
 
@@ -47,7 +48,12 @@ class FileCrawlResult:
     def replica_counts(self) -> np.ndarray:
         """Clients-per-name counts over the crawled subset."""
         n_peers = self.source.n_peers
-        pairs = np.unique(self.name_ids * n_peers + self.peer_of_instance)
+        pairs = np.unique(
+            encode_pairs(
+                self.name_ids, self.peer_of_instance, n_peers,
+                what="name/peer pairs",
+            )
+        )
         return np.bincount(
             (pairs // n_peers).astype(np.int64), minlength=len(self.source.names)
         )

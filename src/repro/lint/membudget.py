@@ -173,6 +173,33 @@ SPECS: tuple[ArraySpec, ...] = (
         seed_itemsize=8,
         fallback="int64",
     ),
+    # Sharded postings publish: per-shard posting CSR segments the
+    # batch engine exports to shared memory (repro.runtime.shards).
+    # Offsets are re-based per shard (one entry per term plus one per
+    # shard); instances keep global ids, so both must stay at
+    # INDEX_DTYPE width for the sharded footprint to track the dense
+    # posting arrays.  These entries were born int32, so their shrink
+    # ratio is measured against a 4-byte seed.
+    ArraySpec(
+        group="posting_shards",
+        structure="PostingShard",
+        array="offsets",
+        qualname="repro.overlay.content.partition_postings",
+        target="local:offsets",
+        per_node=40.0,
+        seed_itemsize=4,
+        fallback="int32",
+    ),
+    ArraySpec(
+        group="posting_shards",
+        structure="PostingShard",
+        array="instances",
+        qualname="repro.overlay.content.partition_postings",
+        target="local:instances",
+        per_node=420.0,
+        seed_itemsize=4,
+        fallback="int32",
+    ),
 )
 
 

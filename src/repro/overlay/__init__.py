@@ -11,8 +11,14 @@ from repro.overlay.batch import BatchOutcome, BatchQueryEngine
 from repro.overlay.churn import ChurnConfig, ChurnTimeline, crawl_snapshot
 from repro.overlay.content import (
     BatchMatches,
+    DensePostings,
+    PostingShard,
+    PostingShardSet,
+    PostingsProvider,
     SharedContentIndex,
     intersect_postings,
+    intersect_postings_batch,
+    partition_postings,
 )
 from repro.overlay.expanding_ring import ExpandingRingResult, expanding_ring_search
 from repro.overlay.gia import (
@@ -94,8 +100,14 @@ __all__ = [
     "ChurnConfig",
     "ChurnTimeline",
     "crawl_snapshot",
+    "DensePostings",
+    "PostingShard",
+    "PostingShardSet",
+    "PostingsProvider",
     "SharedContentIndex",
     "intersect_postings",
+    "intersect_postings_batch",
+    "partition_postings",
     "ExpandingRingResult",
     "expanding_ring_search",
     "GIA_CAPACITY_LEVELS",

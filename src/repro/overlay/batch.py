@@ -25,6 +25,7 @@ to exactly the serial answer.
 
 from __future__ import annotations
 
+from contextlib import ExitStack
 from dataclasses import dataclass
 from functools import partial
 from typing import Callable, Sequence
@@ -32,7 +33,12 @@ from typing import Callable, Sequence
 import numpy as np
 
 from repro.obs import metrics
-from repro.overlay.content import QueryKey, SharedContentIndex, intersect_postings
+from repro.overlay.content import (
+    PostingsProvider,
+    QueryKey,
+    SharedContentIndex,
+    intersect_postings_batch,
+)
 from repro.overlay.flooding import DEPTH_DTYPE, DepthProvider, FloodDepthCache
 from repro.overlay.topology import Topology
 
@@ -171,31 +177,31 @@ def _chunk_task(
 ) -> BatchOutcome:
     """Worker task: evaluate one contiguous slice of the batch.
 
-    Attaches the shared topology and posting arrays, then runs the
-    same pure core as the serial path with a worker-local flood cache
-    and match memo.  Flood evaluation is deterministic, so the task
-    runs with ``needs_rng=False``.
+    Attaches the shared topology and posting arrays (single-segment or
+    term-sharded — the spec says which), pre-intersects the chunk's
+    distinct keys in one batch-kernel pass, then runs the same pure
+    core as the serial path with a worker-local flood cache.  Flood
+    evaluation is deterministic, so the task runs with
+    ``needs_rng=False``.
     """
     # Deferred import: repro.runtime sits above the overlay layer.
-    from repro.runtime.shm import attach_postings, attach_topology
+    from repro.runtime.shards import attach_postings_any
+    from repro.runtime.shm import attach_topology
 
     sources, keys = chunk
     topology = attach_topology(topo_spec)  # type: ignore[arg-type]
-    postings = attach_postings(post_spec)  # type: ignore[arg-type]
+    postings = attach_postings_any(post_spec)  # type: ignore[arg-type]
     cache = _WORKER_CACHES.get(topo_spec)
     if cache is None:
         cache = FloodDepthCache(topology)
         _WORKER_CACHES[topo_spec] = cache
-    memo: dict[QueryKey, np.ndarray] = {}
+    distinct = [k for k in dict.fromkeys(keys) if k is not None]
+    memo: dict[QueryKey, np.ndarray] = dict(
+        zip(distinct, intersect_postings_batch(postings, distinct))
+    )
 
     def match_key(key: QueryKey) -> np.ndarray:
-        hit = memo.get(key)
-        if hit is None:
-            hit = intersect_postings(
-                postings.posting_offsets, postings.posting_instances, key
-            )
-            memo[key] = hit
-        return hit
+        return memo[key]
 
     return _evaluate_keys(
         cache,
@@ -224,14 +230,29 @@ class BatchQueryEngine:
         *,
         flood_cache_entries: int = 256,
         depth_provider: DepthProvider | None = None,
+        postings: PostingsProvider | None = None,
     ) -> None:
         if topology.n_nodes != content.n_peers:
             raise ValueError(
                 f"topology has {topology.n_nodes} nodes but the trace has "
                 f"{content.n_peers} peers"
             )
+        if postings is not None and (
+            postings.n_terms != content.term_index.n_terms
+            or postings.n_instances != content.n_instances
+        ):
+            raise ValueError(
+                f"postings provider covers {postings.n_terms} terms / "
+                f"{postings.n_instances} instances but the content index has "
+                f"{content.term_index.n_terms} / {content.n_instances}"
+            )
         self.topology = topology
         self.content = content
+        # Optional posting-list provider override (e.g. an attached
+        # PostingShardSet): the serial path prefetches misses through
+        # it, and the fan-out path reuses its already-published shm
+        # segments instead of re-exporting the dense arrays.
+        self.postings = postings
         # A depth provider (e.g. a ShardedFloodRunner) reroutes the
         # cache's BFS through the shard-parallel driver; outcomes stay
         # bitwise identical, so the serial evaluation path below needs
@@ -317,6 +338,12 @@ class BatchQueryEngine:
 
         workers = min(resolve_workers(n_workers), sources.size)
         if workers <= 1 or sources.size <= 1:
+            # Warm the match cache for every distinct miss in one
+            # batch-kernel pass; the pure core below then only ever
+            # takes cache hits.
+            self.content.prefetch_keys(
+                [k for k in keys if k is not None], provider=self.postings
+            )
             return _evaluate_keys(
                 self.flood_cache,
                 self.content.match_key,
@@ -327,6 +354,7 @@ class BatchQueryEngine:
                 min_results=min_results,
             )
         from repro.runtime.parallel import pmap
+        from repro.runtime.shards import ShardedPostings
         from repro.runtime.shm import SharedPostings, SharedTopology
 
         bounds = np.linspace(0, sources.size, workers + 1).astype(np.int64)
@@ -335,13 +363,25 @@ class BatchQueryEngine:
             for lo, hi in zip(bounds[:-1], bounds[1:])
             if hi > lo
         ]
-        with SharedTopology(self.topology) as topo, SharedPostings(
-            self.content
-        ) as post:
+        with ExitStack() as stack:
+            topo = stack.enter_context(SharedTopology(self.topology))
+            post_spec = getattr(self.postings, "spec", None)
+            if post_spec is None:
+                if self.postings is not None:
+                    # Unpublished provider (e.g. a locally-built shard
+                    # set): publish it for the workers, preserving its
+                    # shard layout.
+                    post_spec = stack.enter_context(
+                        ShardedPostings(self.postings)
+                    ).spec
+                else:
+                    post_spec = stack.enter_context(
+                        SharedPostings(self.content)
+                    ).spec
             task = partial(
                 _chunk_task,
                 topo_spec=topo.spec,
-                post_spec=post.spec,
+                post_spec=post_spec,
                 ttl_schedule=ttl_schedule,
                 min_results=min_results,
             )

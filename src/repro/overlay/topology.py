@@ -16,6 +16,7 @@ import networkx as nx
 import numpy as np
 
 from repro.obs import metrics
+from repro.utils import dtypes
 from repro.utils.rng import derive, make_rng
 
 __all__ = [
@@ -32,8 +33,11 @@ __all__ = [
 #: (offsets + neighbors) versus the int64 seed and comfortably covers
 #: the 10M-node roadmap scale; ``_edges_to_csr`` guards the
 #: ``2**31 - 1`` node/entry ceiling with an explicit OverflowError
-#: instead of silently wrapping.
-INDEX_DTYPE = np.dtype(np.int32)
+#: instead of silently wrapping.  The literal lives in
+#: ``repro.utils.dtypes`` so tracegen shares it without importing the
+#: overlay package; this Assign keeps the public name (and simlint's
+#: constant resolution) here.
+INDEX_DTYPE = dtypes.INDEX_DTYPE
 
 
 @dataclass

@@ -27,12 +27,32 @@ from repro.runtime.cache import (
     config_digest,
 )
 from repro.runtime.parallel import pmap, resolve_workers
-from repro.runtime.shm import SharedTopology, SharedTopologySpec, attach_topology
+from repro.runtime.shards import (
+    ShardedPostings,
+    ShardedPostingsSpec,
+    attach_postings_any,
+    attach_sharded_postings,
+)
+from repro.runtime.shm import (
+    SharedPostings,
+    SharedPostingsSpec,
+    SharedTopology,
+    SharedTopologySpec,
+    attach_postings,
+    attach_topology,
+)
 
 __all__ = [
     "CacheInfo",
+    "ShardedPostings",
+    "ShardedPostingsSpec",
+    "SharedPostings",
+    "SharedPostingsSpec",
     "SharedTopology",
     "SharedTopologySpec",
+    "attach_postings",
+    "attach_postings_any",
+    "attach_sharded_postings",
     "attach_topology",
     "cache_dir",
     "cache_enabled",

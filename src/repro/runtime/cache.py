@@ -71,8 +71,10 @@ __all__ = [
 CACHE_VERSION = 1
 
 #: Producers whose artifacts are dominated by large ndarrays and are
-#: stored in the zero-copy mmap-blob format by default.
-BLOB_PRODUCERS = frozenset({"fig8-topology", "content-index"})
+#: stored in the zero-copy mmap-blob format by default.  The trace
+#: bundle qualifies since its CSR/posting/id arrays (peer offsets,
+#: song ids, name ids) dwarf the interner and config skeleton.
+BLOB_PRODUCERS = frozenset({"fig8-topology", "content-index", "trace-bundle"})
 
 #: ndarrays at or above this size are extracted into raw ``.npy``
 #: blobs; smaller ones stay inline in the pickled skeleton.

@@ -25,6 +25,15 @@ The runner also implements the ``bfs_entry`` provider hook of
 :class:`~repro.overlay.flooding.FloodDepthCache`, so the depth cache
 and :class:`~repro.overlay.batch.BatchQueryEngine` can run their BFS
 sharded without knowing about this module.
+
+:class:`ShardedPostings` is the content-path twin of
+:class:`ShardedTopology`: it publishes a
+:class:`~repro.overlay.content.PostingShardSet` (contiguous term-range
+posting segments with re-based offsets) one segment per shard array,
+and :func:`attach_sharded_postings` hands workers a view-backed
+provider implementing the overlay's ``PostingsProvider`` protocol.
+:func:`attach_postings_any` dispatches on the spec type, so the batch
+engine's worker task accepts either posting transport.
 """
 
 from __future__ import annotations
@@ -36,6 +45,14 @@ from typing import Sequence
 import numpy as np
 
 from repro.obs import metrics, span
+from repro.overlay.content import (
+    DensePostings,
+    PostingShard,
+    PostingShardSet,
+    PostingsProvider,
+    SharedContentIndex,
+    partition_postings,
+)
 from repro.overlay.flooding import DepthEntry
 from repro.overlay.sharding import (
     ExpandResult,
@@ -50,19 +67,26 @@ from repro.overlay.topology import Topology
 from repro.runtime.parallel import _mp_context, resolve_workers
 from repro.runtime.shm import (
     SharedArraySpec,
+    SharedPostingsSpec,
     _ATTACHED,
     _SEGMENTS,
     _SharedArrayOwner,
     _attach_arrays,
     _export,
+    attach_postings,
 )
 
 __all__ = [
+    "PostingShardSpec",
     "ShardSpec",
     "ShardedFloodRunner",
+    "ShardedPostings",
+    "ShardedPostingsSpec",
     "ShardedTopology",
     "ShardedTopologySpec",
+    "attach_postings_any",
     "attach_shard_set",
+    "attach_sharded_postings",
 ]
 
 
@@ -187,6 +211,136 @@ def attach_shard_set(spec: ShardedTopologySpec) -> ShardSet:
     _ATTACHED[spec] = shard_set
     _SEGMENTS[spec] = segments
     return shard_set
+
+
+@dataclass(frozen=True)
+class PostingShardSpec:
+    """Addresses of one posting shard's arrays plus its term range."""
+
+    lo: int
+    hi: int
+    offsets: SharedArraySpec
+    instances: SharedArraySpec
+
+
+@dataclass(frozen=True)
+class ShardedPostingsSpec:
+    """Picklable address of a published posting shard set.
+
+    ``bounds`` is value-carried (O(shards) metadata); the per-shard
+    offset/instance arrays and the instance-to-peer map live in their
+    own segments.
+    """
+
+    bounds: tuple[int, ...]
+    instance_peer: SharedArraySpec
+    shards: tuple[PostingShardSpec, ...]
+
+
+class ShardedPostings(_SharedArrayOwner):
+    """Owner handle for posting shards published to shared memory.
+
+    Accepts a content index (or dense provider) plus ``n_shards``, or a
+    pre-partitioned :class:`~repro.overlay.content.PostingShardSet`.
+    The pre-seeded attachment is a view-backed shard set carrying
+    ``spec``, so consumers holding the provider can recover the worker
+    address without re-publishing.
+    """
+
+    spec: ShardedPostingsSpec
+
+    def __init__(
+        self,
+        source: SharedContentIndex | DensePostings | PostingShardSet,
+        *,
+        n_shards: int | None = None,
+    ) -> None:
+        if isinstance(source, PostingShardSet):
+            if n_shards is not None and n_shards != source.n_shards:
+                raise ValueError(
+                    f"source is already partitioned into {source.n_shards} "
+                    f"shards; n_shards={n_shards} conflicts"
+                )
+            shard_set = source
+        else:
+            shard_set = partition_postings(source, n_shards or 1)
+        with span("postings.publish", shards=shard_set.n_shards):
+            segments = []
+            pee_spec, pee_seg, pee_view = _export(
+                np.ascontiguousarray(shard_set.instance_peer)
+            )
+            segments.append(pee_seg)
+            shard_specs: list[PostingShardSpec] = []
+            shard_views: list[PostingShard] = []
+            for shard in shard_set.shards:
+                off_spec, off_seg, off_view = _export(
+                    np.ascontiguousarray(shard.offsets)
+                )
+                ins_spec, ins_seg, ins_view = _export(
+                    np.ascontiguousarray(shard.instances)
+                )
+                segments.extend((off_seg, ins_seg))
+                shard_specs.append(
+                    PostingShardSpec(shard.lo, shard.hi, off_spec, ins_spec)
+                )
+                shard_views.append(
+                    PostingShard(shard.lo, shard.hi, off_view, ins_view)
+                )
+        self.spec = ShardedPostingsSpec(
+            bounds=tuple(int(b) for b in shard_set.bounds),
+            instance_peer=pee_spec,
+            shards=tuple(shard_specs),
+        )
+        self._segments = segments
+        self._closed = False
+        _ATTACHED[self.spec] = PostingShardSet(
+            bounds=np.asarray(self.spec.bounds, dtype=np.int64),
+            shards=tuple(shard_views),
+            instance_peer=pee_view,
+            spec=self.spec,
+        )
+
+    def __enter__(self) -> "ShardedPostings":
+        return self
+
+    @property
+    def provider(self) -> PostingShardSet:
+        """The view-backed shard set over the published segments."""
+        return attach_sharded_postings(self.spec)
+
+
+def attach_sharded_postings(spec: ShardedPostingsSpec) -> PostingShardSet:
+    """Map published posting shards into this process (cached, read-only)."""
+    cached = _ATTACHED.get(spec)
+    if cached is not None:
+        assert isinstance(cached, PostingShardSet)
+        return cached
+    flat_specs = [spec.instance_peer]
+    for shard in spec.shards:
+        flat_specs.extend((shard.offsets, shard.instances))
+    arrays, segments = _attach_arrays(tuple(flat_specs))
+    shards = tuple(
+        PostingShard(s.lo, s.hi, arrays[1 + 2 * i], arrays[2 + 2 * i])
+        for i, s in enumerate(spec.shards)
+    )
+    shard_set = PostingShardSet(
+        bounds=np.asarray(spec.bounds, dtype=np.int64),
+        shards=shards,
+        instance_peer=arrays[0],
+        spec=spec,
+    )
+    _ATTACHED[spec] = shard_set
+    _SEGMENTS[spec] = segments
+    return shard_set
+
+
+def attach_postings_any(
+    spec: SharedPostingsSpec | ShardedPostingsSpec,
+) -> PostingsProvider:
+    """Attach whichever posting transport ``spec`` addresses."""
+    if isinstance(spec, ShardedPostingsSpec):
+        return attach_sharded_postings(spec)
+    return attach_postings(spec)
 
 
 def _expand_task(

@@ -26,7 +26,7 @@ from multiprocessing import resource_tracker, shared_memory
 
 import numpy as np
 
-from repro.overlay.content import SharedContentIndex
+from repro.overlay.content import DensePostings, SharedContentIndex
 from repro.overlay.topology import Topology
 
 __all__ = [
@@ -68,20 +68,15 @@ class SharedPostingsSpec:
     instance_peer: SharedArraySpec
 
 
-@dataclass(frozen=True)
-class PostingArrays:
-    """Worker-side view of a content index's posting structure.
-
-    Exactly the arrays :func:`repro.overlay.content.intersect_postings`
-    needs to evaluate term-id query keys, plus the instance-to-peer map
-    for restricting hits to probed peers.  Term *strings* stay on the
-    coordinator: batch workers receive canonical term-id keys, so the
-    interner never crosses the process boundary.
-    """
-
-    posting_offsets: np.ndarray
-    posting_instances: np.ndarray
-    instance_peer: np.ndarray
+#: Worker-side view of a content index's posting structure: exactly
+#: the arrays query evaluation needs (the posting CSR plus the
+#: instance-to-peer map).  Term *strings* stay on the coordinator —
+#: batch workers receive canonical term-id keys, so the interner never
+#: crosses the process boundary.  Since the overlay layer grew the
+#: :class:`~repro.overlay.content.PostingsProvider` protocol this is
+#: the same class as its dense provider; the alias keeps the
+#: transport-era name working.
+PostingArrays = DensePostings
 
 
 #: Per-process attachment cache: one mapping per published artifact.
@@ -200,7 +195,7 @@ class SharedPostings(_SharedArrayOwner):
         self.spec = SharedPostingsSpec(off_spec, ins_spec, pee_spec)
         self._segments = [off_seg, ins_seg, pee_seg]
         self._closed = False
-        _ATTACHED[self.spec] = PostingArrays(off_view, ins_view, pee_view)
+        _ATTACHED[self.spec] = DensePostings(off_view, ins_view, pee_view)
 
     def __enter__(self) -> "SharedPostings":
         return self
@@ -235,16 +230,16 @@ def attach_topology(spec: SharedTopologySpec) -> Topology:
     return topology
 
 
-def attach_postings(spec: SharedPostingsSpec) -> PostingArrays:
+def attach_postings(spec: SharedPostingsSpec) -> DensePostings:
     """Map published posting arrays into this process (cached, read-only)."""
     cached = _ATTACHED.get(spec)
     if cached is not None:
-        assert isinstance(cached, PostingArrays)
+        assert isinstance(cached, DensePostings)
         return cached
     arrays, segments = _attach_arrays(
         (spec.posting_offsets, spec.posting_instances, spec.instance_peer)
     )
-    postings = PostingArrays(arrays[0], arrays[1], arrays[2])
+    postings = DensePostings(arrays[0], arrays[1], arrays[2])
     _ATTACHED[spec] = postings
     _SEGMENTS[spec] = segments
     return postings

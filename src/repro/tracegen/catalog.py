@@ -52,11 +52,20 @@ class CatalogConfig:
     genre_exponent: float = 1.2
     min_title_words: int = 1
     max_title_words: int = 4
+    #: songs per streamed title block.  ``None`` (default) draws every
+    #: title from one sequential stream; an integer switches to
+    #: per-block derived streams (``derive(seed, "catalog-stream/titles",
+    #: b)``) so huge catalogs generate block-by-block.  Like
+    #: ``edge_block`` for topologies, block mode yields a *different*
+    #: deterministic catalog, so the knob is part of the config digest.
+    title_block: int | None = None
     seed: int = 0
 
     def __post_init__(self) -> None:
         if self.n_songs <= 0 or self.n_artists <= 0:
             raise ValueError("catalog must have positive song and artist counts")
+        if self.title_block is not None and self.title_block <= 0:
+            raise ValueError(f"title_block must be positive, got {self.title_block}")
         if self.n_genres < len(CANONICAL_GENRES):
             raise ValueError(
                 f"n_genres must be at least {len(CANONICAL_GENRES)} "
@@ -80,13 +89,30 @@ class MusicCatalog:
         rng_struct = derive(cfg.seed, "catalog", "structure")
 
         # --- song titles: ragged array of lexicon word ids -------------
-        lengths = rng_titles.integers(
-            cfg.min_title_words, cfg.max_title_words + 1, size=cfg.n_songs
-        )
+        word_dist = ZipfDistribution(cfg.lexicon_size, cfg.title_exponent)
+        if cfg.title_block is None:
+            lengths = rng_titles.integers(
+                cfg.min_title_words, cfg.max_title_words + 1, size=cfg.n_songs
+            )
+            terms = word_dist.sample(int(lengths.sum()), rng_titles)
+        else:
+            length_parts: list[np.ndarray] = []
+            term_parts: list[np.ndarray] = []
+            for b, lo in enumerate(range(0, cfg.n_songs, cfg.title_block)):
+                hi = min(lo + cfg.title_block, cfg.n_songs)
+                rng_block = derive(cfg.seed, "catalog-stream/titles", b)
+                block_lengths = rng_block.integers(
+                    cfg.min_title_words, cfg.max_title_words + 1, size=hi - lo
+                )
+                length_parts.append(block_lengths)
+                term_parts.append(
+                    word_dist.sample(int(block_lengths.sum()), rng_block)
+                )
+            lengths = np.concatenate(length_parts)
+            terms = np.concatenate(term_parts)
         self.title_offsets = np.zeros(cfg.n_songs + 1, dtype=np.int64)
         np.cumsum(lengths, out=self.title_offsets[1:])
-        word_dist = ZipfDistribution(cfg.lexicon_size, cfg.title_exponent)
-        self.title_terms = word_dist.sample(int(self.title_offsets[-1]), rng_titles)
+        self.title_terms = terms
 
         # --- artists: 1-2 word names, assigned to songs Zipf-style -----
         artist_lengths = rng_struct.integers(1, 3, size=cfg.n_artists)

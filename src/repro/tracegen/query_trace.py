@@ -31,7 +31,7 @@ import numpy as np
 from repro.tracegen.catalog import MusicCatalog
 from repro.tracegen.gnutella_trace import GnutellaShareTrace
 from repro.utils.rng import derive
-from repro.utils.stats import ragged_arange
+from repro.utils.stats import encode_pairs, ragged_arange
 from repro.utils.zipf import ZipfDistribution
 
 __all__ = [
@@ -66,7 +66,9 @@ def file_term_peer_counts(trace: GnutellaShareTrace) -> np.ndarray:
     terms = flat_terms[gather]
     peers = np.repeat(trace.peer_of_instance, inst_lengths)
     n_terms = catalog.config.lexicon_size
-    pairs = np.unique(terms.astype(np.int64) * trace.n_peers + peers)
+    pairs = np.unique(
+        encode_pairs(terms, peers, trace.n_peers, what="term/peer pairs")
+    )
     return np.bincount((pairs // trace.n_peers).astype(np.int64), minlength=n_terms)
 
 

@@ -6,6 +6,7 @@ import numpy as np
 
 __all__ = [
     "ccdf",
+    "encode_pairs",
     "fraction_at_most",
     "fraction_at_least",
     "gini",
@@ -13,6 +14,37 @@ __all__ = [
     "lorenz_curve",
     "ragged_arange",
 ]
+
+
+def encode_pairs(
+    major: np.ndarray, minor: np.ndarray, n_minor: int, *, what: str = "pairs"
+) -> np.ndarray:
+    """Checked ``major * n_minor + minor`` pair encoding, always int64.
+
+    The overlay and tracegen layers dedupe ``(a, b)`` pairs by packing
+    them into one integer and calling ``np.unique``.  Done naively on
+    narrowed int32 inputs the multiply wraps silently; done on int64 it
+    still overflows once ``max(major) * n_minor`` crosses 2**63 (a
+    10M-peer x 10M-term index gets there).  This helper casts to int64
+    first and verifies the largest encodable pair fits, raising
+    ``OverflowError`` with the offending sizes instead of corrupting
+    the dedup.
+    """
+    if n_minor <= 0:
+        raise ValueError(f"n_minor must be positive, got {n_minor}")
+    major = np.asarray(major)
+    minor = np.asarray(minor)
+    if major.size == 0:
+        return np.empty(0, dtype=np.int64)
+    top = int(major.max())
+    limit = np.iinfo(np.int64).max
+    if top > (limit - (n_minor - 1)) // n_minor:
+        raise OverflowError(
+            f"cannot encode {what}: major id {top} with minor range {n_minor} "
+            f"exceeds int64 ({top} * {n_minor} + {n_minor - 1} > {limit}); "
+            "dedupe in smaller blocks or use a structured sort"
+        )
+    return major.astype(np.int64) * np.int64(n_minor) + minor.astype(np.int64)
 
 
 def ragged_arange(lengths: np.ndarray) -> np.ndarray:

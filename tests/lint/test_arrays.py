@@ -282,7 +282,11 @@ class TestMemBudget:
         assert arrays["Topology.forwards"]["dtype"] == "bool"
         assert arrays["DepthEntry.depth"]["dtype"] == "int16"
         assert arrays["DepthEntry.depth"]["inferred"]
-        assert arrays["GnutellaShareTrace.peer_of_instance"]["dtype"] == "int64"
+        assert arrays["GnutellaShareTrace.peer_of_instance"]["dtype"] == "int32"
+        assert arrays["GnutellaShareTrace.peer_of_instance"]["inferred"]
+        assert arrays["SharedContentIndex._posting_instances"]["dtype"] == "int32"
+        assert arrays["SharedContentIndex._posting_instances"]["inferred"]
+        assert arrays["PostingShard.offsets"]["dtype"] == "int32"
 
     def test_csr_depth_group_meets_the_shrink_target(self, report) -> None:
         group = report["groups"]["csr_depth"]

@@ -182,3 +182,54 @@ class TestCaches:
         direct = engine.evaluate(sources, queries, ttl_schedule=(3,))
         np.testing.assert_array_equal(flood.messages, direct.messages)
         assert ring.n_queries == 10
+
+
+class TestShardedPostingsEquivalence:
+    """Serial-dense == sharded == parallel at every shard/worker count."""
+
+    @pytest.fixture(scope="class")
+    def baseline(self, network):
+        sources, queries = sample_workload(network.content, 48, seed=13)
+        out = network.batch_engine().evaluate(
+            sources, queries, ttl_schedule=(1, 2, 4), min_results=2
+        )
+        return sources, queries, out
+
+    @pytest.mark.parametrize("n_shards", [1, 2, 7])
+    @pytest.mark.parametrize("n_workers", [1, 4])
+    def test_identical_outcomes(
+        self, network, small_trace, baseline, n_shards, n_workers
+    ):
+        from repro.overlay.content import SharedContentIndex, partition_postings
+
+        sources, queries, expected = baseline
+        content = SharedContentIndex(small_trace)
+        engine = BatchQueryEngine(
+            network.topology,
+            content,
+            postings=partition_postings(content, n_shards),
+        )
+        out = engine.evaluate(
+            sources,
+            queries,
+            ttl_schedule=(1, 2, 4),
+            min_results=2,
+            n_workers=n_workers,
+        )
+        np.testing.assert_array_equal(out.success, expected.success)
+        np.testing.assert_array_equal(out.n_results, expected.n_results)
+        np.testing.assert_array_equal(out.messages, expected.messages)
+        np.testing.assert_array_equal(out.peers_probed, expected.peers_probed)
+
+    def test_mismatched_provider_rejected(self, network, small_trace):
+        from repro.overlay.content import DensePostings, SharedContentIndex
+
+        content = SharedContentIndex(small_trace)
+        dense = content.dense_postings()
+        truncated = DensePostings(
+            dense.posting_offsets,
+            dense.posting_instances,
+            dense.instance_peer[:-1],
+        )
+        with pytest.raises(ValueError, match="postings provider"):
+            BatchQueryEngine(network.topology, content, postings=truncated)

@@ -116,3 +116,68 @@ class TestShardedFloodRunner:
             ref = flood_depths(topo, 9, 4)
             got = runner.flood_depths(9, 4)
             assert np.array_equal(got[0], ref[0]) and got[1] == ref[1]
+
+
+class TestShardedPostings:
+    @pytest.fixture(scope="class")
+    def content(self, small_trace):
+        from repro.overlay.content import SharedContentIndex
+
+        return SharedContentIndex(small_trace)
+
+    def test_publish_attach_roundtrip(self, content):
+        from repro.overlay.content import partition_postings
+        from repro.runtime.shards import ShardedPostings, attach_sharded_postings
+
+        local = partition_postings(content, 3)
+        with ShardedPostings(content, n_shards=3) as share:
+            attached = attach_sharded_postings(share.spec)
+            assert attached.n_shards == 3
+            assert attached.spec is share.spec
+            np.testing.assert_array_equal(attached.bounds, local.bounds)
+            np.testing.assert_array_equal(
+                attached.instance_peer, local.instance_peer
+            )
+            for got, want in zip(attached.shards, local.shards):
+                assert (got.lo, got.hi) == (want.lo, want.hi)
+                np.testing.assert_array_equal(got.offsets, want.offsets)
+                np.testing.assert_array_equal(got.instances, want.instances)
+                assert got.offsets.dtype == want.offsets.dtype
+
+    def test_spec_is_picklable_and_dispatchable(self, content):
+        from repro.runtime.shards import ShardedPostings, attach_postings_any
+        from repro.runtime.shm import SharedPostings
+
+        with ShardedPostings(content, n_shards=2) as sharded, SharedPostings(
+            content
+        ) as dense:
+            for spec in (sharded.spec, dense.spec):
+                clone = pickle.loads(pickle.dumps(spec))
+                assert clone == spec
+            from repro.overlay.content import DensePostings, PostingShardSet
+
+            assert isinstance(
+                attach_postings_any(sharded.spec), PostingShardSet
+            )
+            assert isinstance(attach_postings_any(dense.spec), DensePostings)
+
+    def test_prepartitioned_source_keeps_layout(self, content):
+        from repro.overlay.content import partition_postings
+        from repro.runtime.shards import ShardedPostings
+
+        shard_set = partition_postings(content, 4)
+        with ShardedPostings(shard_set) as share:
+            assert share.provider.n_shards == 4
+        with pytest.raises(ValueError, match="n_shards"):
+            ShardedPostings(shard_set, n_shards=5)
+
+    def test_attached_provider_matches_queries(self, content):
+        from repro.overlay.content import intersect_postings_batch
+        from repro.runtime.shards import ShardedPostings
+
+        keys = [(t,) for t in range(0, 50, 7)]
+        dense_rows = intersect_postings_batch(content.dense_postings(), keys)
+        with ShardedPostings(content, n_shards=3) as share:
+            shard_rows = intersect_postings_batch(share.provider, keys)
+        for a, b in zip(dense_rows, shard_rows):
+            np.testing.assert_array_equal(a, b)

@@ -113,3 +113,32 @@ class TestCatalogConfigValidation:
         a, b = MusicCatalog(cfg), MusicCatalog(cfg)
         np.testing.assert_array_equal(a.title_terms, b.title_terms)
         np.testing.assert_array_equal(a.song_artist, b.song_artist)
+
+
+class TestStreamedTitles:
+    def test_title_block_deterministic(self):
+        cfg = CatalogConfig(
+            n_songs=500, n_artists=60, lexicon_size=2_000, title_block=64, seed=9
+        )
+        a, b = MusicCatalog(cfg), MusicCatalog(cfg)
+        np.testing.assert_array_equal(a.title_offsets, b.title_offsets)
+        np.testing.assert_array_equal(a.title_terms, b.title_terms)
+
+    def test_title_block_in_cache_digest(self):
+        from repro.runtime.cache import config_digest
+
+        batch = CatalogConfig(n_songs=500, n_artists=60, seed=9)
+        block = CatalogConfig(n_songs=500, n_artists=60, title_block=64, seed=9)
+        assert config_digest(batch) != config_digest(block)
+
+    def test_title_lengths_in_range(self):
+        cfg = CatalogConfig(
+            n_songs=500, n_artists=60, lexicon_size=2_000, title_block=64, seed=9
+        )
+        lengths = np.diff(MusicCatalog(cfg).title_offsets)
+        assert lengths.min() >= cfg.min_title_words
+        assert lengths.max() <= cfg.max_title_words
+
+    def test_invalid_title_block(self):
+        with pytest.raises(ValueError, match="title_block"):
+            CatalogConfig(title_block=-1)

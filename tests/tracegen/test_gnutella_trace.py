@@ -186,3 +186,84 @@ class TestFreeRiders:
     def test_invalid_probability(self):
         with pytest.raises(ValueError, match="p_freerider"):
             GnutellaTraceConfig(p_freerider=1.5)
+
+
+class TestStreamedTrace:
+    @pytest.fixture(scope="class")
+    def streamed_pair(self, small_catalog):
+        cfg = GnutellaTraceConfig(
+            n_peers=90, mean_library_size=25.0, peer_block=16, seed=23
+        )
+        return (
+            GnutellaShareTrace(small_catalog, cfg),
+            GnutellaShareTrace(small_catalog, cfg),
+        )
+
+    def test_block_draws_deterministic(self, streamed_pair):
+        a, b = streamed_pair
+        np.testing.assert_array_equal(a.peer_offsets, b.peer_offsets)
+        np.testing.assert_array_equal(a.song_ids, b.song_ids)
+        np.testing.assert_array_equal(a.name_ids, b.name_ids)
+        assert a.unique_names() == b.unique_names()
+
+    def test_block_size_invariant_given_same_knob(self, small_catalog):
+        # Same peer_block => same trace regardless of construction run;
+        # a different peer_block is a different (still valid) trace.
+        base = GnutellaTraceConfig(
+            n_peers=90, mean_library_size=25.0, peer_block=16, seed=23
+        )
+        other = GnutellaTraceConfig(
+            n_peers=90, mean_library_size=25.0, peer_block=32, seed=23
+        )
+        t_base = GnutellaShareTrace(small_catalog, base)
+        t_other = GnutellaShareTrace(small_catalog, other)
+        assert t_base.n_instances != t_other.n_instances or not np.array_equal(
+            t_base.name_ids, t_other.name_ids
+        )
+
+    def test_peer_block_in_cache_digest(self):
+        from repro.runtime.cache import config_digest
+
+        batch = GnutellaTraceConfig(n_peers=90, seed=23)
+        block = GnutellaTraceConfig(n_peers=90, peer_block=16, seed=23)
+        assert config_digest(batch) != config_digest(block)
+
+    def test_csr_structure_holds(self, streamed_pair):
+        trace = streamed_pair[0]
+        assert trace.peer_offsets[0] == 0
+        assert trace.peer_offsets[-1] == trace.song_ids.size
+        assert np.all(np.diff(trace.peer_offsets) >= 0)
+        assert trace.name_ids.min() >= 0
+
+    def test_index_dtype_arrays(self, streamed_pair):
+        from repro.utils.dtypes import INDEX_DTYPE
+
+        trace = streamed_pair[0]
+        assert trace.song_ids.dtype == INDEX_DTYPE
+        assert trace.peer_of_instance.dtype == INDEX_DTYPE
+
+    def test_invalid_peer_block(self):
+        with pytest.raises(ValueError, match="peer_block"):
+            GnutellaTraceConfig(peer_block=0)
+
+    def test_overflow_guard_on_peer_count(self, small_catalog, monkeypatch):
+        from repro.tracegen import gnutella_trace as trace_module
+
+        monkeypatch.setattr(trace_module, "INDEX_DTYPE", np.dtype(np.int8))
+        with pytest.raises(OverflowError, match="widen INDEX_DTYPE"):
+            GnutellaShareTrace(
+                small_catalog, GnutellaTraceConfig(n_peers=300, seed=1)
+            )
+
+    def test_overflow_guard_on_instance_count(self, small_catalog, monkeypatch):
+        from repro.tracegen import gnutella_trace as trace_module
+
+        monkeypatch.setattr(trace_module, "INDEX_DTYPE", np.dtype(np.int8))
+        # 100 peers fit int8 ids, but ~25 files each do not.
+        with pytest.raises(OverflowError, match="widen INDEX_DTYPE"):
+            GnutellaShareTrace(
+                small_catalog,
+                GnutellaTraceConfig(
+                    n_peers=100, mean_library_size=25.0, seed=1
+                ),
+            )

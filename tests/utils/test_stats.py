@@ -10,6 +10,7 @@ from hypothesis.extra import numpy as hnp
 
 from repro.utils.stats import (
     bincount_counts,
+    encode_pairs,
     ccdf,
     fraction_at_least,
     fraction_at_most,
@@ -140,3 +141,44 @@ class TestRaggedArange:
             [np.arange(n) for n in lengths] or [np.empty(0, dtype=np.int64)]
         )
         np.testing.assert_array_equal(ragged_arange(lengths), expected)
+
+
+class TestEncodePairs:
+    def test_roundtrip(self):
+        major = np.array([0, 3, 3, 7])
+        minor = np.array([2, 0, 4, 1])
+        enc = encode_pairs(major, minor, 5)
+        assert enc.dtype == np.int64
+        np.testing.assert_array_equal(enc // 5, major)
+        np.testing.assert_array_equal(enc % 5, minor)
+
+    def test_narrow_inputs_widen(self):
+        # int16 inputs whose product overflows int16 must not wrap.
+        major = np.array([30_000], dtype=np.int16)
+        minor = np.array([5], dtype=np.int16)
+        enc = encode_pairs(major, minor, 10_000)
+        assert int(enc[0]) == 30_000 * 10_000 + 5
+
+    def test_empty(self):
+        enc = encode_pairs(np.empty(0), np.empty(0), 7)
+        assert enc.size == 0 and enc.dtype == np.int64
+
+    def test_boundary_accepts_exact_fit(self):
+        n_minor = 2**32
+        top = (np.iinfo(np.int64).max - (n_minor - 1)) // n_minor
+        enc = encode_pairs(
+            np.array([top]), np.array([n_minor - 1]), n_minor
+        )
+        assert int(enc[0]) == top * n_minor + n_minor - 1
+
+    def test_overflow_raises_with_counts(self):
+        n_minor = 2**32
+        top = (np.iinfo(np.int64).max - (n_minor - 1)) // n_minor + 1
+        with pytest.raises(OverflowError, match="song/peer"):
+            encode_pairs(
+                np.array([top]), np.array([0]), n_minor, what="song/peer pairs"
+            )
+
+    def test_invalid_n_minor(self):
+        with pytest.raises(ValueError, match="n_minor"):
+            encode_pairs(np.array([1]), np.array([0]), 0)
