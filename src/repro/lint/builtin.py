@@ -14,7 +14,7 @@ import ast
 from typing import Iterator
 
 from repro.lint.diagnostics import Diagnostic
-from repro.lint.index import dotted_name, import_aliases, resolve_alias
+from repro.lint.index import dotted_name, import_aliases, resolve_alias, tree_nodes
 from repro.lint.rules import FileContext, register_rule
 
 __all__ = [
@@ -65,7 +65,7 @@ class RngDisciplineRule:
         if ctx.has_path_suffix(ctx.config.rng_modules):
             return
         aliases = _import_aliases(ctx.tree)
-        for node in ast.walk(ctx.tree):
+        for node in tree_nodes(ctx.tree):
             if isinstance(node, ast.Import):
                 for alias in node.names:
                     top = alias.name.split(".")[0]
@@ -139,7 +139,7 @@ class WallClockRule:
         if ctx.matches_any(ctx.config.wallclock_exempt):
             return
         aliases = _import_aliases(ctx.tree)
-        for node in ast.walk(ctx.tree):
+        for node in tree_nodes(ctx.tree):
             if not isinstance(node, ast.Call):
                 continue
             chain = _dotted_name(node.func)
@@ -184,7 +184,7 @@ class MutableDefaultRule:
         return False
 
     def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
-        for node in ast.walk(ctx.tree):
+        for node in tree_nodes(ctx.tree):
             if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
                 continue
             defaults = list(node.args.defaults) + [
@@ -213,7 +213,7 @@ class OverbroadExceptRule:
     summary = "no bare/overbroad except clauses"
 
     def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
-        for node in ast.walk(ctx.tree):
+        for node in tree_nodes(ctx.tree):
             if not isinstance(node, ast.ExceptHandler):
                 continue
             if node.type is None:
@@ -378,7 +378,7 @@ class FloatEqualityRule:
         return isinstance(node, ast.Constant) and isinstance(node.value, float)
 
     def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
-        for node in ast.walk(ctx.tree):
+        for node in tree_nodes(ctx.tree):
             if not isinstance(node, ast.Compare):
                 continue
             operands = [node.left, *node.comparators]
@@ -578,7 +578,7 @@ class PrintDisciplineRule:
     def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
         if ctx.matches_any(ctx.config.print_allowed):
             return
-        for node in ast.walk(ctx.tree):
+        for node in tree_nodes(ctx.tree):
             if (
                 isinstance(node, ast.Call)
                 and isinstance(node.func, ast.Name)

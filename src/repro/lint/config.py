@@ -83,8 +83,22 @@ DEFAULT_PRINT_ALLOWED = (
 # SIM013: observational-only modules.  Functions defined in these
 # modules record metrics/spans/logs and are excluded from cache-purity
 # reachability — by contract nothing they compute may flow back into a
-# cached value.
-DEFAULT_OBS_MODULES = ("repro.obs",)
+# cached value.  The write-sanitizer is enforcement instrumentation of
+# the same kind: its env switch gates fault *detection*, never values.
+DEFAULT_OBS_MODULES = ("repro.obs", "repro.runtime.sanitize")
+
+# SIM019/SIM021: functions that hand out views over *attached* shm or
+# mmap segments.  Everything they return (and everything projected
+# from it) is consumer-side read-only state: workers may read it, only
+# the owning publisher writes, and the picklable ``.spec`` — never the
+# attached view itself — is what crosses a process boundary.
+DEFAULT_ATTACH_FUNCTIONS = (
+    "repro.runtime.shm.attach_topology",
+    "repro.runtime.shm.attach_postings",
+    "repro.runtime.shards.attach_shard_set",
+    "repro.runtime.shards.attach_sharded_postings",
+    "repro.runtime.shards.attach_postings_any",
+)
 
 # SIM015-SIM017: roots of the hot set.  A function is *hot* when it is
 # one of these or transitively reachable from one along the resolved
@@ -141,6 +155,7 @@ class LintConfig:
     derive_functions: tuple[str, ...] = DEFAULT_DERIVE_FUNCTIONS
     print_allowed: tuple[str, ...] = DEFAULT_PRINT_ALLOWED
     obs_modules: tuple[str, ...] = DEFAULT_OBS_MODULES
+    attach_functions: tuple[str, ...] = DEFAULT_ATTACH_FUNCTIONS
     hot_roots: tuple[str, ...] = DEFAULT_HOT_ROOTS
     hot_extra: tuple[str, ...] = ()
     baseline: str = ""
@@ -326,6 +341,10 @@ def load_config(
         ),
         obs_modules=_as_str_tuple(
             table.get("obs_modules", defaults.obs_modules), "obs_modules"
+        ),
+        attach_functions=_as_str_tuple(
+            table.get("attach_functions", defaults.attach_functions),
+            "attach_functions",
         ),
         hot_roots=hot_roots,
         hot_extra=hot_extra,

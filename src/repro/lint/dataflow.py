@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import ast
 from typing import Iterator
+from weakref import WeakKeyDictionary
 
 from repro.lint.index import dotted_name, resolve_alias
 
@@ -55,10 +56,19 @@ _RNG_PRODUCERS = frozenset(
 _RNG_PRODUCER_NAMES = frozenset({"make_rng", "spawn", "derive", "default_rng"})
 
 
-def own_nodes(
+#: Materialized body walks, keyed weakly by the function node.  Every
+#: rule family re-asks the same "which nodes are my own" question about
+#: the same functions; the repeated ``iter_child_nodes`` traversals
+#: dominated whole-repo lint time before this memo.  Entries die with
+#: their tree, so repeated in-process runs cannot accumulate.
+_OWN_NODES_CACHE: "WeakKeyDictionary[ast.AST, tuple[ast.AST, ...]]" = (
+    WeakKeyDictionary()
+)
+
+
+def _walk_own(
     func: ast.FunctionDef | ast.AsyncFunctionDef | ast.Lambda,
 ) -> Iterator[ast.AST]:
-    """Walk a function's own body without descending into nested defs."""
     stack: list[ast.AST] = (
         [func.body] if isinstance(func.body, ast.expr) else list(func.body)  # type: ignore[list-item]
     )
@@ -69,6 +79,17 @@ def own_nodes(
                              ast.ClassDef)):
             continue
         stack.extend(ast.iter_child_nodes(node))
+
+
+def own_nodes(
+    func: ast.FunctionDef | ast.AsyncFunctionDef | ast.Lambda,
+) -> Iterator[ast.AST]:
+    """Walk a function's own body without descending into nested defs."""
+    cached = _OWN_NODES_CACHE.get(func)
+    if cached is None:
+        cached = tuple(_walk_own(func))
+        _OWN_NODES_CACHE[func] = cached
+    return iter(cached)
 
 
 def walk_shallow(node: ast.AST) -> Iterator[ast.AST]:

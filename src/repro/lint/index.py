@@ -31,6 +31,7 @@ import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterator, Sequence
+from weakref import WeakKeyDictionary
 
 __all__ = [
     "CallSite",
@@ -46,6 +47,7 @@ __all__ = [
     "normalized_digest",
     "resolve_alias",
     "source_tree_digest",
+    "tree_nodes",
 ]
 
 def dotted_name(node: ast.expr) -> str | None:
@@ -60,6 +62,30 @@ def dotted_name(node: ast.expr) -> str | None:
     return ".".join(reversed(parts))
 
 
+# One parsed tree is walked end to end by many consumers: several
+# per-file rules, the alias scan below, and the concurrency layer.
+# ast.walk re-derives the same node sequence each time and its
+# iter_child_nodes traffic dominates whole-repo lint time, so the flat
+# BFS order is memoized per tree.  WeakKeyDictionary entries die with
+# their tree, so repeated in-process runs do not leak.
+_TREE_NODES_CACHE: "WeakKeyDictionary[ast.AST, tuple[ast.AST, ...]]" = (
+    WeakKeyDictionary()
+)
+
+_ALIAS_CACHE: "WeakKeyDictionary[ast.AST, dict[str, dict[str, str]]]" = (
+    WeakKeyDictionary()
+)
+
+
+def tree_nodes(tree: ast.AST) -> tuple[ast.AST, ...]:
+    """Every node of ``tree`` in :func:`ast.walk` (BFS) order, memoized."""
+    cached = _TREE_NODES_CACHE.get(tree)
+    if cached is None:
+        cached = tuple(ast.walk(tree))
+        _TREE_NODES_CACHE[tree] = cached
+    return cached
+
+
 def import_aliases(tree: ast.Module, *, package: str = "") -> dict[str, str]:
     """Map local names to the fully-qualified object they import.
 
@@ -67,10 +93,16 @@ def import_aliases(tree: ast.Module, *, package: str = "") -> dict[str, str]:
     ``from time import perf_counter`` -> ``{"perf_counter": "time.perf_counter"}``.
     Relative imports resolve against ``package`` (the importing module's
     package, empty for top-level modules); star imports are
-    unresolvable and therefore skipped.
+    unresolvable and therefore skipped.  Cached per ``(tree, package)``
+    — the same tree is scanned by the index build and by several
+    per-file rules.
     """
+    per_tree = _ALIAS_CACHE.setdefault(tree, {})
+    cached = per_tree.get(package)
+    if cached is not None:
+        return cached
     aliases: dict[str, str] = {}
-    for node in ast.walk(tree):
+    for node in tree_nodes(tree):
         if isinstance(node, ast.Import):
             for alias in node.names:
                 if alias.asname is not None:
@@ -94,6 +126,7 @@ def import_aliases(tree: ast.Module, *, package: str = "") -> dict[str, str]:
                     continue
                 local = alias.asname or alias.name
                 aliases[local] = f"{base}.{alias.name}"
+    per_tree[package] = aliases
     return aliases
 
 

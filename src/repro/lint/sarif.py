@@ -29,8 +29,13 @@ SARIF_SCHEMA_URI = (
 )
 
 _TOOL_NAME = "simlint"
-_TOOL_VERSION = "2.0.0"
+_TOOL_VERSION = "4.0.0"
 _TOOL_URI = "https://example.invalid/simlint"  # repo-local tool; no homepage
+
+# Per-rule documentation anchors: docs/static-analysis.md carries one
+# ``#simNNN`` section per rule, so code-scanning UIs can deep-link the
+# rationale next to the finding.
+_HELP_URI_TEMPLATE = _TOOL_URI + "/docs/static-analysis.md#{anchor}"
 
 
 def _relative_uri(path: str) -> str:
@@ -52,6 +57,7 @@ def _rule_descriptors(codes: Iterable[str]) -> list[dict[str, object]]:
                 "name": code,
                 "shortDescription": {"text": summary or code},
                 "defaultConfiguration": {"level": "error"},
+                "helpUri": _HELP_URI_TEMPLATE.format(anchor=code.lower()),
             }
         )
     return descriptors

@@ -43,6 +43,7 @@ import json
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterator
+from weakref import WeakKeyDictionary
 
 from repro.lint.diagnostics import Diagnostic
 from repro.lint.dataflow import (
@@ -58,6 +59,7 @@ from repro.lint.index import (
     ProjectIndex,
     dotted_name,
     normalized_digest,
+    tree_nodes,
 )
 from repro.lint.rules import ProjectContext, register_rule
 
@@ -413,19 +415,29 @@ class Producer:
     module: ModuleInfo
 
 
+#: ``find_producers`` is asked the same question by SIM013 and SIM014;
+#: the scan is a full-repo AST walk, so share one answer per index.
+_PRODUCERS_CACHE: "WeakKeyDictionary[ProjectIndex, list[Producer]]" = (
+    WeakKeyDictionary()
+)
+
+
 def find_producers(ctx: ProjectContext) -> list[Producer]:
     """Every ``cached_call(name, version, digest, compute)`` site."""
+    cached = _PRODUCERS_CACHE.get(ctx.index)
+    if cached is not None:
+        return cached
     producers: list[Producer] = []
     for func in ctx.index.functions.values():
         module = ctx.index.modules[func.module]
-        local_defs = {
-            node.name: node
-            for node in ast.walk(func.node)
-            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
-        }
+        calls: list[ast.Call] = []
+        local_defs: dict[str, ast.AST] = {}
         for node in ast.walk(func.node):
-            if not isinstance(node, ast.Call):
-                continue
+            if isinstance(node, ast.Call):
+                calls.append(node)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                local_defs[node.name] = node
+        for node in calls:
             chain = ctx.index.qualified_chain(node.func, module)
             if chain not in ctx.config.cache_registrars:
                 continue
@@ -475,6 +487,7 @@ def find_producers(ctx: ProjectContext) -> list[Producer]:
                     owner=func, module=module,
                 )
             )
+    _PRODUCERS_CACHE[ctx.index] = producers
     return producers
 
 
@@ -567,7 +580,7 @@ def _mutated_globals(module: ModuleInfo) -> frozenset[str]:
         elif isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
             top_level.add(stmt.target.id)
     mutated: set[str] = set()
-    for node in ast.walk(module.tree):
+    for node in tree_nodes(module.tree):
         if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
             for sub in ast.walk(node):
                 if isinstance(sub, ast.Global):

@@ -401,27 +401,35 @@ def intersect_postings_batch(
     # enough to stay cache-resident; stamping each group with its own
     # epoch byte makes stale marks harmless, so the per-group reset
     # scatter (as expensive as the paint itself) disappears — one bulk
-    # memset every 255 groups is all the cleaning left.
-    scratch = np.zeros(provider.n_instances, dtype=np.uint8)
+    # memset every 255 groups is all the cleaning left.  Allocated
+    # through the sanitizer so REPRO_SANITIZE=shm poisons it on release
+    # (stale reuse breaks bitwise parity loudly instead of silently).
+    from repro.runtime.sanitize import scratch_alloc, scratch_release
+
+    scratch = scratch_alloc(provider.n_instances, np.uint8)
     epoch = 0
-    for b in range(bounds.size - 1):
-        c0, c1 = int(cand_starts[int(bounds[b])]), int(cand_starts[int(bounds[b + 1])])
-        if use_search[b]:
-            t = int(group_terms[b])
-            seg = instances[int(offsets[t]) : int(offsets[t + 1])]
-            vals = cand[c0:c1]
-            idx = np.searchsorted(seg, vals)
-            inb = idx < seg.size
-            found[c0:c1] = inb & (seg[np.minimum(idx, seg.size - 1)] == vals)
-        else:
-            epoch += 1
-            if epoch == 256:
-                scratch[:] = 0
-                epoch = 1
-            t = int(group_terms[b])
-            seg = instances[int(offsets[t]) : int(offsets[t + 1])]
-            scratch[seg] = epoch
-            found[c0:c1] = scratch[cand64[c0:c1]] == epoch
+    try:
+        for b in range(bounds.size - 1):
+            c0 = int(cand_starts[int(bounds[b])])
+            c1 = int(cand_starts[int(bounds[b + 1])])
+            if use_search[b]:
+                t = int(group_terms[b])
+                seg = instances[int(offsets[t]) : int(offsets[t + 1])]
+                vals = cand[c0:c1]
+                idx = np.searchsorted(seg, vals)
+                inb = idx < seg.size
+                found[c0:c1] = inb & (seg[np.minimum(idx, seg.size - 1)] == vals)
+            else:
+                epoch += 1
+                if epoch == 256:
+                    scratch[:] = 0
+                    epoch = 1
+                t = int(group_terms[b])
+                seg = instances[int(offsets[t]) : int(offsets[t + 1])]
+                scratch[seg] = epoch
+                found[c0:c1] = scratch[cand64[c0:c1]] == epoch
+    finally:
+        scratch_release(scratch)
     # Survivors per seed slot: a segmented count beats materializing a
     # candidate-wide slot-id repeat (pass-1 kills ~97% of candidates).
     cand = cand[found]

@@ -117,38 +117,47 @@ def flood_depths(
     visited[sources] = True
     depth[sources] = 0
     frontier = np.flatnonzero(visited)  # sorted unique sources
-    level_mask = np.zeros(n, dtype=bool)  # reusable per-level scratch
+    # Reusable per-level scratch, tracked by the sanitizer: under
+    # REPRO_SANITIZE=shm it is poisoned on release, so any path that
+    # kept a stale reference would fault bitwise instead of silently.
+    from repro.runtime.sanitize import scratch_alloc, scratch_release
+
+    level_mask = scratch_alloc(n, bool)
     messages = 0
     offsets, neighbors, forwards = (
         topology.offsets,
         topology.neighbors,
         topology.forwards,
     )
-    for level in range(1, max_depth + 1):
-        if frontier.size == 0:
-            break
-        # Only forwarding nodes relay, except at level 1 where the
-        # sources themselves emit.
-        senders = frontier if level == 1 else frontier[forwards[frontier]]
-        if senders.size == 0:
-            break
-        lengths = offsets[senders + 1] - offsets[senders]
-        gather = np.repeat(offsets[senders], lengths) + ragged_arange(lengths)
-        targets = neighbors[gather]
-        messages += targets.size
-        if p_loss > 0.0:
-            assert rng is not None  # validated above
-            targets = targets[rng.random(targets.size) >= p_loss]
-        # Duplicate suppression without sorting: candidates are the
-        # unvisited targets; marking them in the scratch mask collapses
-        # within-level duplicates, and flatnonzero yields them sorted.
-        candidates = targets[~visited[targets]]
-        level_mask[candidates] = True
-        new = np.flatnonzero(level_mask)
-        level_mask[new] = False
-        visited[new] = True
-        depth[new] = level
-        frontier = new
+    try:
+        for level in range(1, max_depth + 1):
+            if frontier.size == 0:
+                break
+            # Only forwarding nodes relay, except at level 1 where the
+            # sources themselves emit.
+            senders = frontier if level == 1 else frontier[forwards[frontier]]
+            if senders.size == 0:
+                break
+            lengths = offsets[senders + 1] - offsets[senders]
+            gather = np.repeat(offsets[senders], lengths) + ragged_arange(lengths)
+            targets = neighbors[gather]
+            messages += targets.size
+            if p_loss > 0.0:
+                assert rng is not None  # validated above
+                targets = targets[rng.random(targets.size) >= p_loss]
+            # Duplicate suppression without sorting: candidates are the
+            # unvisited targets; marking them in the scratch mask
+            # collapses within-level duplicates, and flatnonzero yields
+            # them sorted.
+            candidates = targets[~visited[targets]]
+            level_mask[candidates] = True
+            new = np.flatnonzero(level_mask)
+            level_mask[new] = False
+            visited[new] = True
+            depth[new] = level
+            frontier = new
+    finally:
+        scratch_release(level_mask)
     registry = metrics()
     registry.inc("flood.calls")
     registry.inc("flood.messages", int(messages))

@@ -11,6 +11,10 @@ Three cooperating pieces, each usable on its own:
 * :mod:`repro.runtime.cache` — a content-addressed on-disk artifact
   cache keyed by a stable digest of the frozen config dataclasses, so
   repeated runs skip topology/trace regeneration.
+* :mod:`repro.runtime.sanitize` — the ``REPRO_SANITIZE=shm`` write
+  sanitizer: read-only attached arrays, poison-on-release scratch
+  tracking, and per-task leak guards, so CI dynamically confirms the
+  read-only worker contract simlint checks statically.
 
 See docs/performance.md for the architecture and invalidation rules.
 """
@@ -27,6 +31,14 @@ from repro.runtime.cache import (
     config_digest,
 )
 from repro.runtime.parallel import pmap, resolve_workers
+from repro.runtime.sanitize import (
+    freeze,
+    freeze_artifact,
+    sanitize_faults,
+    scratch_alloc,
+    scratch_release,
+    shm_sanitize_enabled,
+)
 from repro.runtime.shards import (
     ShardedPostings,
     ShardedPostingsSpec,
@@ -60,6 +72,12 @@ __all__ = [
     "cached_call",
     "clear_cache",
     "config_digest",
+    "freeze",
+    "freeze_artifact",
     "pmap",
     "resolve_workers",
+    "sanitize_faults",
+    "scratch_alloc",
+    "scratch_release",
+    "shm_sanitize_enabled",
 ]

@@ -52,6 +52,7 @@ from typing import Any, Callable, TypeVar
 import numpy as np
 
 from repro.obs import get_logger, log_event, metrics
+from repro.runtime.sanitize import freeze, freeze_artifact, shm_sanitize_enabled
 
 __all__ = [
     "BLOB_PRODUCERS",
@@ -227,8 +228,10 @@ class _BlobUnpickler(pickle.Unpickler):
             isinstance(pid, tuple) and len(pid) == 2 and pid[0] == _PERSISTENT_TAG
         ):
             raise pickle.UnpicklingError(f"unknown persistent id {pid!r}")
-        return np.load(
-            self._directory / f"a{pid[1]}.npy", mmap_mode="r", allow_pickle=False
+        return freeze(
+            np.load(
+                self._directory / f"a{pid[1]}.npy", mmap_mode="r", allow_pickle=False
+            )
         )
 
 
@@ -299,6 +302,10 @@ def cached_call(
         else:
             registry.inc("artifact_cache.hits")
             registry.inc("artifact_cache.mmap_hits")
+            if shm_sanitize_enabled():
+                # Inline (sub-threshold) arrays in the skeleton are
+                # writable; sanitize mode freezes the whole artifact.
+                freeze_artifact(value)
             return value  # type: ignore[no-any-return]
     elif path.is_file():
         try:
@@ -316,6 +323,8 @@ def cached_call(
             if chosen == "mmap-blob":
                 # Entry predates the producer's blob registration.
                 registry.inc("artifact_cache.legacy_pickle_hits")
+            if shm_sanitize_enabled():
+                freeze_artifact(value)
             return value  # type: ignore[no-any-return]
     registry.inc("artifact_cache.misses")
     value = compute()

@@ -33,6 +33,7 @@ from typing import Callable, Iterable, TypeVar, Union
 import numpy as np
 
 from repro.obs import MetricsSnapshot, metrics
+from repro.runtime.sanitize import task_guard
 from repro.utils.rng import derive
 
 __all__ = ["pmap", "resolve_workers"]
@@ -83,7 +84,7 @@ def _run_task(
 ) -> R:
     """In-process task execution, recording into the live registry."""
     registry = metrics()
-    with registry.timer("pmap.task"):
+    with registry.timer("pmap.task"), task_guard():
         result = _call_task(fn, item, seed, key, index, needs_rng)
     registry.inc(f"pmap.worker.{os.getpid()}.tasks")
     return result

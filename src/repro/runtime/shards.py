@@ -65,6 +65,7 @@ from repro.overlay.sharding import (
 )
 from repro.overlay.topology import Topology
 from repro.runtime.parallel import _mp_context, resolve_workers
+from repro.runtime.sanitize import freeze
 from repro.runtime.shm import (
     SharedArraySpec,
     SharedPostingsSpec,
@@ -173,10 +174,12 @@ class ShardedTopology(_SharedArrayOwner):
         self._segments = segments
         self._closed = False
         _ATTACHED[self.spec] = ShardSet(
-            bounds=np.asarray(self.spec.bounds, dtype=np.int64),
+            bounds=freeze(np.asarray(self.spec.bounds, dtype=np.int64)),
             forwards=fwd_view,
             shards=tuple(shard_views),
-            boundary_counts=np.asarray(self.spec.boundary_counts, dtype=np.int64),
+            boundary_counts=freeze(
+                np.asarray(self.spec.boundary_counts, dtype=np.int64)
+            ),
         )
 
     def __enter__(self) -> "ShardedTopology":
@@ -203,10 +206,10 @@ def attach_shard_set(spec: ShardedTopologySpec) -> ShardSet:
         for i, s in enumerate(spec.shards)
     )
     shard_set = ShardSet(
-        bounds=np.asarray(spec.bounds, dtype=np.int64),
+        bounds=freeze(np.asarray(spec.bounds, dtype=np.int64)),
         forwards=arrays[0],
         shards=shards,
-        boundary_counts=np.asarray(spec.boundary_counts, dtype=np.int64),
+        boundary_counts=freeze(np.asarray(spec.boundary_counts, dtype=np.int64)),
     )
     _ATTACHED[spec] = shard_set
     _SEGMENTS[spec] = segments
@@ -294,7 +297,7 @@ class ShardedPostings(_SharedArrayOwner):
         self._segments = segments
         self._closed = False
         _ATTACHED[self.spec] = PostingShardSet(
-            bounds=np.asarray(self.spec.bounds, dtype=np.int64),
+            bounds=freeze(np.asarray(self.spec.bounds, dtype=np.int64)),
             shards=tuple(shard_views),
             instance_peer=pee_view,
             spec=self.spec,
@@ -324,7 +327,7 @@ def attach_sharded_postings(spec: ShardedPostingsSpec) -> PostingShardSet:
         for i, s in enumerate(spec.shards)
     )
     shard_set = PostingShardSet(
-        bounds=np.asarray(spec.bounds, dtype=np.int64),
+        bounds=freeze(np.asarray(spec.bounds, dtype=np.int64)),
         shards=shards,
         instance_peer=arrays[0],
         spec=spec,

@@ -28,6 +28,7 @@ import numpy as np
 
 from repro.overlay.content import DensePostings, SharedContentIndex
 from repro.overlay.topology import Topology
+from repro.runtime.sanitize import freeze
 
 __all__ = [
     "PostingArrays",
@@ -101,7 +102,7 @@ def _export(array: np.ndarray) -> tuple[SharedArraySpec, shared_memory.SharedMem
     segment = shared_memory.SharedMemory(create=True, size=max(1, array.nbytes))
     view: np.ndarray = np.ndarray(array.shape, dtype=array.dtype, buffer=segment.buf)
     view[...] = array
-    view.flags.writeable = False
+    freeze(view)
     return SharedArraySpec(segment.name, array.shape, array.dtype.str), segment, view
 
 
@@ -212,7 +213,7 @@ def _attach_arrays(specs: tuple[SharedArraySpec, ...]) -> tuple[list[np.ndarray]
         view: np.ndarray = np.ndarray(
             array_spec.shape, dtype=np.dtype(array_spec.dtype), buffer=segment.buf
         )
-        view.flags.writeable = False
+        freeze(view)
         arrays.append(view)
     return arrays, segments
 

@@ -1,0 +1,33 @@
+"""SIM018 fixtures: shared mutable state crossing the task boundary."""
+
+from repro.runtime.parallel import pmap
+
+_RESULTS: list[float] = []
+_TOTALS = {"sum": 0.0}
+
+
+def append_task(item, task_rng):
+    _RESULTS.append(item * 2.0)
+    return item
+
+
+def run_append(seed: int):
+    out = pmap(append_task, [1.0, 2.0], seed=seed, key="s018-append")
+    return out, list(_RESULTS)
+
+
+def aug_task(item, task_rng):
+    _TOTALS["sum"] += item
+    return item
+
+
+def run_aug(seed: int):
+    out = pmap(aug_task, [1.0], seed=seed, key="s018-aug")
+    return out, _TOTALS["sum"]
+
+
+def run_closure(seed: int):
+    acc = {}
+    pmap(lambda item, task_rng: acc.update({0: item}), [1.0],
+         seed=seed, key="s018-closure")
+    return acc

@@ -1,0 +1,36 @@
+"""SIM018 negatives: keyed per-process memos and returned results."""
+
+from repro.runtime.parallel import pmap
+
+_MEMO: dict[int, float] = {}
+
+
+def memo_task(item, task_rng):
+    key = int(item)
+    cached = _MEMO.get(key)
+    if cached is None:
+        cached = item * 2.0
+        _MEMO[key] = cached
+    return cached
+
+
+def lookup(item) -> float:
+    return _MEMO.get(int(item), 0.0)
+
+
+def run_memo(seed: int):
+    # Every _MEMO access is keyed: racing workers recompute identical
+    # entries, so the per-process divergence is harmless.
+    return pmap(memo_task, [1.0, 2.0], seed=seed, key="s018-memo")
+
+
+def pure_task(item, task_rng):
+    return item * 2.0
+
+
+def run_pure(seed: int):
+    out = pmap(pure_task, [1.0, 2.0], seed=seed, key="s018-pure")
+    total = 0.0
+    for value in out:
+        total += value
+    return total

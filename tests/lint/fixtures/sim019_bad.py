@@ -1,0 +1,34 @@
+"""SIM019 fixtures: writes to attached shm/mmap views."""
+
+import numpy as np
+
+from repro.runtime.shm import attach_topology
+
+
+def direct_write(spec):
+    view = attach_topology(spec)
+    view.neighbors[0] = -1
+    return view
+
+
+def helper(sink):
+    sink.offsets[0] = 0
+
+
+def through_call(spec):
+    topo = attach_topology(spec)
+    helper(topo)
+
+
+def get_view(spec):
+    return attach_topology(spec)
+
+
+def from_return(spec):
+    topo = get_view(spec)
+    topo.neighbors.fill(0)
+
+
+def out_kwarg(spec):
+    topo = attach_topology(spec)
+    np.add(topo.neighbors, 1, out=topo.neighbors)

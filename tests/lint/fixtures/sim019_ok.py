@@ -1,0 +1,24 @@
+"""SIM019 negatives: read-only consumption and copy-before-write."""
+
+import numpy as np
+
+from repro.runtime.shm import attach_topology
+
+
+def read_only(spec):
+    view = attach_topology(spec)
+    return int(view.neighbors[0])
+
+
+def copy_then_write(spec):
+    view = attach_topology(spec)
+    depths = np.array(view.neighbors)
+    depths[0] = -1
+    return depths
+
+
+def spec_passthrough(share):
+    # .spec projections are the picklable currency; storing them is fine.
+    meta = {}
+    meta["spec"] = share.spec
+    return meta

@@ -1,0 +1,26 @@
+"""SIM020 fixtures: scratch reuse without epoch/reset discipline."""
+
+import numpy as np
+
+from repro.runtime.sanitize import scratch_alloc, scratch_release
+
+
+def stale_paint(groups, members, candidates):
+    marks = np.zeros(1024, dtype=np.uint8)
+    out = []
+    for seg in groups:
+        marks[members[seg]] = 1
+        out.append([c for c in candidates if marks[c] == 1])
+    return out
+
+
+def stale_tracked(groups, members, candidates):
+    stamp = scratch_alloc(2048, np.uint8)
+    try:
+        hits = []
+        for seg in groups:
+            stamp[members[seg]] = 1
+            hits.append([c for c in candidates if stamp[c] == 1])
+        return hits
+    finally:
+        scratch_release(stamp)

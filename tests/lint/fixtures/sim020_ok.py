@@ -1,0 +1,38 @@
+"""SIM020 negatives: epoch stamps, un-painting, per-iteration buffers."""
+
+import numpy as np
+
+from repro.runtime.sanitize import scratch_alloc, scratch_release
+
+
+def epoch_stamped(groups, members, candidates):
+    marks = np.zeros(1024, dtype=np.int64)
+    out = []
+    epoch = 0
+    for seg in groups:
+        epoch += 1
+        marks[members[seg]] = epoch
+        out.append([c for c in candidates if marks[c] == epoch])
+    return out
+
+
+def unpainted(groups, members, candidates):
+    stamp = scratch_alloc(1024, np.uint8)
+    try:
+        out = []
+        for seg in groups:
+            stamp[members[seg]] = 1
+            out.append([c for c in candidates if stamp[c] == 1])
+            stamp[members[seg]] = 0
+        return out
+    finally:
+        scratch_release(stamp)
+
+
+def fresh_each_iteration(groups, members, candidates):
+    out = []
+    for seg in groups:
+        marks = np.zeros(1024, dtype=np.uint8)
+        marks[members[seg]] = 1
+        out.append([c for c in candidates if marks[c] == 1])
+    return out

@@ -1,0 +1,45 @@
+"""SIM021 fixtures: fork-unsafe state crossing the task boundary."""
+
+from functools import partial
+
+import numpy as np
+
+from repro.obs import metrics
+from repro.runtime.parallel import pmap
+from repro.runtime.shm import SharedTopology, attach_topology
+
+
+def count_rows(item, task_rng):
+    return 1
+
+
+def count_with(registry, item, task_rng):
+    registry.inc("rows")
+    return 1
+
+
+def ship_owner(topo, seed):
+    with SharedTopology(topo) as share:
+        return pmap(count_rows, [share], seed=seed, key="s021-owner")
+
+
+def ship_view(spec, seed):
+    view = attach_topology(spec)
+    return pmap(count_rows, [view], seed=seed, key="s021-view")
+
+
+def ship_registry(seed):
+    registry = metrics()
+    return pmap(partial(count_with, registry), [1.0],
+                seed=seed, key="s021-registry")
+
+
+def ship_mmap(path, seed):
+    blob = np.load(path, mmap_mode="r")
+    return pmap(count_rows, [blob], seed=seed, key="s021-mmap")
+
+
+def capture_owner(topo, seed):
+    with SharedTopology(topo) as share:
+        return pmap(lambda item, task_rng: item + share.spec.n_nodes,
+                    [1, 2], seed=seed, key="s021-capture")

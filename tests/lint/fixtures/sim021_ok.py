@@ -1,0 +1,28 @@
+"""SIM021 negatives: picklable specs cross; handles re-attach worker-side."""
+
+from functools import partial
+
+import numpy as np
+
+from repro.runtime.parallel import pmap
+from repro.runtime.shm import SharedTopology, attach_topology
+
+
+def row_task(item, task_rng, spec=None):
+    view = attach_topology(spec)
+    return int(view.neighbors[item])
+
+
+def fan_out(topo, seed):
+    with SharedTopology(topo) as share:
+        return pmap(partial(row_task, spec=share.spec), [0, 1],
+                    seed=seed, key="s021-spec")
+
+
+def plain_task(item, task_rng):
+    return item * 2.0
+
+
+def plain_values(seed):
+    payload = np.arange(8)
+    return pmap(plain_task, list(payload), seed=seed, key="s021-plain")

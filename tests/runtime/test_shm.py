@@ -57,7 +57,7 @@ class TestRoundtrip:
         with SharedTopology(topo) as share:
             attached = attach_topology(share.spec)
             with pytest.raises((ValueError, RuntimeError)):
-                attached.neighbors[0] = -1
+                attached.neighbors[0] = -1  # simlint: ignore[SIM019] deliberate write proving attached views reject mutation
 
 
 class TestLifecycle:
@@ -120,7 +120,7 @@ class TestSharedPostings:
         with SharedPostings(small_content) as share:
             post = attach_postings(share.spec)
             with pytest.raises((ValueError, RuntimeError)):
-                post.posting_instances[0] = -1
+                post.posting_instances[0] = -1  # simlint: ignore[SIM019] deliberate write proving attached views reject mutation
 
     def test_close_unlinks_and_evicts_cache(self, small_content):
         share = SharedPostings(small_content)  # simlint: ignore[SIM012] the test exercises manual close() semantics
