@@ -13,6 +13,8 @@ user can regenerate any paper artifact without writing code::
     python -m repro cache info
     python -m repro fig 8 --metrics metrics.json --workers 2
     python -m repro stats metrics.json
+    python -m repro serve --nodes 5000 --port 8642
+    python -m repro load --port 8642 --qps 100 --duration 10
 """
 
 from __future__ import annotations
@@ -97,6 +99,66 @@ def build_parser() -> argparse.ArgumentParser:
         "stats", help="render a --metrics manifest written by an earlier run"
     )
     stats.add_argument("manifest", help="path to a repro-metrics/1 JSON file")
+
+    serve = sub.add_parser(
+        "serve", help="run the overlay query service (HTTP/JSON)"
+    )
+    serve.add_argument("--nodes", type=int, default=5_000)
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8642, help="0 picks a free port"
+    )
+    serve.add_argument("--shards", type=int, default=1)
+    serve.add_argument(
+        "--bfs-workers", type=int, default=1,
+        help="worker processes of the sharded BFS runner (needs --shards > 1)",
+    )
+    serve.add_argument(
+        "--engine-workers", type=int, default=1,
+        help="engine fan-out width per micro-batch",
+    )
+    serve.add_argument("--max-queue", type=int, default=256)
+    serve.add_argument("--max-batch", type=int, default=64)
+    serve.add_argument(
+        "--timeout", type=float, default=10.0,
+        help="default per-request deadline in seconds",
+    )
+    serve.add_argument("--drain-timeout", type=float, default=30.0)
+    serve.add_argument(
+        "--ready-file", default=None,
+        help="write 'host port' here once listening (CI handshake)",
+    )
+
+    load = sub.add_parser(
+        "load", help="open-loop load driver against a running service"
+    )
+    load.add_argument("--host", default="127.0.0.1")
+    load.add_argument("--port", type=int, default=8642)
+    load.add_argument(
+        "--nodes", type=int, default=5_000,
+        help="must match the server's --nodes (shared query vocabulary)",
+    )
+    load.add_argument("--seed", type=int, default=0)
+    load.add_argument("--qps", type=float, default=50.0)
+    load.add_argument("--duration", type=float, default=5.0)
+    load.add_argument(
+        "--arrivals", choices=("uniform", "poisson", "burst"),
+        default="uniform", help="arrival-time profile",
+    )
+    load.add_argument("--burst-factor", type=float, default=4.0)
+    load.add_argument(
+        "--zipf", type=float, default=0.9,
+        help="Zipf exponent of query popularity over the pool",
+    )
+    load.add_argument("--pool", type=int, default=64)
+    load.add_argument(
+        "--batch", type=int, default=1, help="queries per request"
+    )
+    load.add_argument("--ttl", type=int, default=3)
+    load.add_argument("--min-results", type=int, default=1)
+    load.add_argument("--timeout", type=float, default=5.0)
+    load.add_argument("--out", default=None, help="write the JSON report here")
 
     # Accept --metrics after the subcommand too (the natural place to
     # type it).  SUPPRESS keeps a subparser that didn't see the flag
@@ -512,6 +574,105 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    from pathlib import Path
+
+    from repro.runtime.shm import cleanup_on_signal
+    from repro.serve.server import OverlayQueryServer
+    from repro.serve.service import ServicePolicy
+    from repro.serve.state import ServiceConfig, ServiceState
+
+    # Installed before any shm segment exists: a SIGTERM during the
+    # (potentially long) artifact build must still unlink everything.
+    # While the event loop runs it takes over the same signals for the
+    # graceful-drain path.
+    uninstall = cleanup_on_signal()
+    try:
+        config = ServiceConfig(
+            n_nodes=args.nodes,
+            seed=args.seed,
+            n_shards=args.shards,
+            bfs_workers=args.bfs_workers,
+            engine_workers=args.engine_workers,
+        )
+        policy = ServicePolicy(
+            max_queue=args.max_queue,
+            max_batch=args.max_batch,
+            default_timeout_s=args.timeout,
+        )
+        with ServiceState.from_config(config) as state:
+            server = OverlayQueryServer(
+                state, policy=policy, host=args.host, port=args.port
+            )
+
+            def announce(srv: OverlayQueryServer) -> None:
+                print(
+                    f"serving {state.n_nodes:,} nodes on "
+                    f"http://{srv.host}:{srv.port}",
+                    flush=True,
+                )
+                if args.ready_file:
+                    Path(args.ready_file).write_text(f"{srv.host} {srv.port}\n")
+
+            asyncio.run(
+                server.run(
+                    drain_timeout_s=args.drain_timeout, ready=announce
+                )
+            )
+    finally:
+        uninstall()
+    print("drained and shut down cleanly")
+    return 0
+
+
+def _cmd_load(args: argparse.Namespace) -> int:
+    import asyncio
+    import json
+    from pathlib import Path
+
+    from repro.core.experiment import build_trace_bundle
+    from repro.core.reporting import format_table
+    from repro.serve.load import LoadConfig, build_query_pool, run_load
+    from repro.tracegen.gnutella_trace import GnutellaTraceConfig
+
+    config = LoadConfig(
+        qps=args.qps,
+        duration_s=args.duration,
+        profile=args.arrivals,
+        burst_factor=args.burst_factor,
+        zipf_exponent=args.zipf,
+        pool_size=args.pool,
+        batch_size=args.batch,
+        ttl=args.ttl,
+        min_results=args.min_results,
+        timeout_s=args.timeout,
+        seed=args.seed,
+    )
+    # Same trace config as the server's build: the query pool draws
+    # from the vocabulary the service actually indexed.
+    bundle = build_trace_bundle(
+        trace_config=GnutellaTraceConfig(n_peers=args.nodes, seed=args.seed)
+    )
+    pool = build_query_pool(bundle.workload, config.pool_size)
+    report = asyncio.run(
+        run_load(
+            args.host, args.port, config, queries=pool, n_nodes=args.nodes
+        )
+    )
+    print(
+        format_table(
+            ["metric", "value"],
+            report.as_rows(),
+            title=f"Load report ({args.arrivals} @ {args.qps:g} qps)",
+        )
+    )
+    if args.out:
+        Path(args.out).write_text(json.dumps(report.as_dict(), indent=2))
+        print(f"wrote {args.out}")
+    return 0 if report.ok else 1
+
+
 _COMMANDS = {
     "gen-trace": _cmd_gen_trace,
     "export": _cmd_export,
@@ -527,6 +688,8 @@ _COMMANDS = {
     "calibrate": _cmd_calibrate,
     "cache": _cmd_cache,
     "stats": _cmd_stats,
+    "serve": _cmd_serve,
+    "load": _cmd_load,
 }
 
 

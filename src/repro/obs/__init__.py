@@ -11,7 +11,7 @@ value produced here may influence a cached computation.
 Public surface:
 
 * :func:`metrics` — the process-local :class:`MetricsRegistry`
-  (counters / gauges / timers).
+  (counters / gauges / timers / latency histograms).
 * :func:`span` — context manager tracing one pipeline stage.
 * :func:`get_logger` / :func:`log_event` — stderr logging for library
   modules (stdout is reserved for command output; SIM008 enforces it).
@@ -27,6 +27,7 @@ from repro.obs.manifest import (
     write_manifest,
 )
 from repro.obs.metrics import (
+    HistogramSnapshot,
     MetricsRegistry,
     MetricsSnapshot,
     Timer,
@@ -36,6 +37,7 @@ from repro.obs.metrics import (
 from repro.obs.trace import SpanRecord, completed_spans, reset_spans, span
 
 __all__ = [
+    "HistogramSnapshot",
     "MetricsRegistry",
     "MetricsSnapshot",
     "Timer",

@@ -27,17 +27,122 @@ Design constraints, in force everywhere this module is used:
 
 from __future__ import annotations
 
+import math
 import time
 from dataclasses import dataclass, field
 from typing import Iterator
 
 __all__ = [
+    "HistogramSnapshot",
     "MetricsRegistry",
     "MetricsSnapshot",
     "Timer",
     "TimerSnapshot",
     "metrics",
 ]
+
+#: Histogram bucket geometry: bucket ``i`` covers values in
+#: ``(_HIST_BASE * _HIST_GROWTH**(i-1), _HIST_BASE * _HIST_GROWTH**i]``
+#: with bucket 0 catching everything at or below ``_HIST_BASE``.  The
+#: defaults span 10 microseconds to ~90 seconds in 48 buckets at ~1.4x
+#: resolution — wide enough for request latencies, cheap enough to
+#: ship in every worker delta.
+_HIST_BASE = 1e-5
+_HIST_GROWTH = 2.0 ** (1.0 / 2.0)
+_HIST_BUCKETS = 48
+
+
+def _bucket_index(value: float) -> int:
+    """Bucket index for ``value`` (clamped to the last bucket)."""
+    if value <= _HIST_BASE:
+        return 0
+    i = int(math.ceil(math.log(value / _HIST_BASE) / math.log(_HIST_GROWTH)))
+    return min(i, _HIST_BUCKETS - 1)
+
+
+def _bucket_upper(i: int) -> float:
+    """Upper bound of bucket ``i``."""
+    return _HIST_BASE * _HIST_GROWTH**i
+
+
+@dataclass(frozen=True)
+class HistogramSnapshot:
+    """Immutable log-bucketed distribution summary.
+
+    Buckets are geometric (fixed base/growth, module-wide), so two
+    snapshots merge by adding counts — workers and the coordinator
+    never have to agree on anything but this module's constants.
+    Quantiles are read from the bucket boundaries, i.e. an estimate
+    with one-bucket (~1.4x) resolution, which is what an SLO report
+    needs; exact extremes are carried in ``min_v``/``max_v``.
+    """
+
+    count: int
+    total: float
+    min_v: float
+    max_v: float
+    buckets: tuple[int, ...]
+
+    @staticmethod
+    def empty() -> "HistogramSnapshot":
+        """A histogram with no observations."""
+        return HistogramSnapshot(
+            count=0, total=0.0, min_v=0.0, max_v=0.0,
+            buckets=(0,) * _HIST_BUCKETS,
+        )
+
+    @property
+    def mean(self) -> float:
+        """Mean observed value (0 when never observed)."""
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Value at quantile ``q`` (bucket-upper-bound estimate).
+
+        Returns ``nan`` for an empty histogram.  The estimate is
+        clamped into ``[min_v, max_v]`` so degenerate distributions
+        (all observations in one bucket) report exact values.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if not self.count:
+            return float("nan")
+        rank = q * self.count
+        seen = 0
+        for i, n in enumerate(self.buckets):
+            seen += n
+            if seen >= rank and n:
+                return min(max(_bucket_upper(i), self.min_v), self.max_v)
+        return self.max_v  # pragma: no cover - rank <= count always hits
+
+    def merged(self, other: "HistogramSnapshot") -> "HistogramSnapshot":
+        """Combine two summaries of disjoint observation sets."""
+        if not other.count:
+            return self
+        if not self.count:
+            return other
+        return HistogramSnapshot(
+            count=self.count + other.count,
+            total=self.total + other.total,
+            min_v=min(self.min_v, other.min_v),
+            max_v=max(self.max_v, other.max_v),
+            buckets=tuple(
+                a + b for a, b in zip(self.buckets, other.buckets)
+            ),
+        )
+
+    def as_dict(self) -> dict:
+        """JSON-ready summary (quantiles, not raw buckets)."""
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "min": self.min_v,
+            "max": self.max_v,
+            "p50": self.quantile(0.5),
+            "p90": self.quantile(0.9),
+            "p99": self.quantile(0.99),
+        }
 
 
 @dataclass(frozen=True)
@@ -79,10 +184,15 @@ class MetricsSnapshot:
     counters: dict[str, int] = field(default_factory=dict)
     gauges: dict[str, float] = field(default_factory=dict)
     timers: dict[str, TimerSnapshot] = field(default_factory=dict)
+    histograms: dict[str, HistogramSnapshot] = field(default_factory=dict)
 
     def counter(self, name: str) -> int:
         """Counter value (0 when never incremented)."""
         return self.counters.get(name, 0)
+
+    def histogram(self, name: str) -> HistogramSnapshot:
+        """Histogram summary (empty when never observed)."""
+        return self.histograms.get(name, HistogramSnapshot.empty())
 
     def as_dict(self) -> dict:
         """JSON-ready form (the ``--metrics`` manifest embeds this)."""
@@ -98,6 +208,9 @@ class MetricsSnapshot:
                     "mean_s": t.mean_s,
                 }
                 for name, t in sorted(self.timers.items())
+            },
+            "histograms": {
+                name: h.as_dict() for name, h in sorted(self.histograms.items())
             },
         }
 
@@ -125,6 +238,40 @@ class Timer:
         self._registry.observe(self._name, time.perf_counter() - self._start)
 
 
+class _HistAccumulator:
+    """Mutable registry-side histogram (snapshots freeze to transport)."""
+
+    __slots__ = ("count", "total", "min_v", "max_v", "buckets")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min_v = 0.0
+        self.max_v = 0.0
+        self.buckets = [0] * _HIST_BUCKETS
+
+    def add(self, value: float) -> None:
+        value = float(value)
+        if not self.count:
+            self.min_v = self.max_v = value
+        elif value < self.min_v:
+            self.min_v = value
+        elif value > self.max_v:
+            self.max_v = value
+        self.count += 1
+        self.total += value
+        self.buckets[_bucket_index(value)] += 1
+
+    def snapshot(self) -> HistogramSnapshot:
+        return HistogramSnapshot(
+            count=self.count,
+            total=self.total,
+            min_v=self.min_v,
+            max_v=self.max_v,
+            buckets=tuple(self.buckets),
+        )
+
+
 class MetricsRegistry:
     """Mutable process-local store of counters, gauges, and timers.
 
@@ -137,6 +284,7 @@ class MetricsRegistry:
         self._counters: dict[str, int] = {}
         self._gauges: dict[str, float] = {}
         self._timers: dict[str, TimerSnapshot] = {}
+        self._hists: dict[str, _HistAccumulator] = {}
 
     # -- recording ----------------------------------------------------
 
@@ -160,6 +308,23 @@ class MetricsRegistry:
         """A context manager timing its body into timer ``name``."""
         return Timer(self, name)
 
+    def observe_hist(self, name: str, value: float) -> None:
+        """Record one value into histogram ``name``.
+
+        One dict lookup plus a few scalar updates — cheap enough for a
+        per-request position (still not per-element of a kernel).
+        """
+        acc = self._hists.get(name)
+        if acc is None:
+            acc = _HistAccumulator()
+            self._hists[name] = acc
+        acc.add(value)
+
+    def histogram(self, name: str) -> HistogramSnapshot:
+        """Current histogram summary (empty when never observed)."""
+        acc = self._hists.get(name)
+        return acc.snapshot() if acc is not None else HistogramSnapshot.empty()
+
     # -- reading / combining ------------------------------------------
 
     def counter(self, name: str) -> int:
@@ -172,6 +337,9 @@ class MetricsRegistry:
             counters=dict(self._counters),
             gauges=dict(self._gauges),
             timers=dict(self._timers),
+            histograms={
+                name: acc.snapshot() for name, acc in self._hists.items()
+            },
         )
 
     def delta_since(self, before: MetricsSnapshot) -> MetricsSnapshot:
@@ -179,7 +347,8 @@ class MetricsRegistry:
 
         Counters subtract; timers subtract count/total and keep the
         current min/max (a per-task delta's extremes are dominated by
-        the task's own observations); gauges report their latest value.
+        the task's own observations); histograms subtract per-bucket
+        counts the same way; gauges report their latest value.
         """
         counters = {
             name: value - before.counters.get(name, 0)
@@ -198,8 +367,30 @@ class MetricsRegistry:
                 min_s=now.min_s,
                 max_s=now.max_s,
             )
+        histograms: dict[str, HistogramSnapshot] = {}
+        for name, acc in self._hists.items():
+            now_h = acc.snapshot()
+            prior_h = before.histograms.get(name)
+            count = now_h.count - (prior_h.count if prior_h else 0)
+            if count <= 0:
+                continue
+            if prior_h is None:
+                histograms[name] = now_h
+                continue
+            histograms[name] = HistogramSnapshot(
+                count=count,
+                total=now_h.total - prior_h.total,
+                min_v=now_h.min_v,
+                max_v=now_h.max_v,
+                buckets=tuple(
+                    a - b for a, b in zip(now_h.buckets, prior_h.buckets)
+                ),
+            )
         return MetricsSnapshot(
-            counters=counters, gauges=dict(self._gauges), timers=timers
+            counters=counters,
+            gauges=dict(self._gauges),
+            timers=timers,
+            histograms=histograms,
         )
 
     def merge(self, delta: MetricsSnapshot) -> None:
@@ -212,12 +403,24 @@ class MetricsRegistry:
             self._timers[name] = (
                 incoming if current is None else current.merged(incoming)
             )
+        for name, hist in delta.histograms.items():
+            acc = self._hists.get(name)
+            if acc is None:
+                acc = _HistAccumulator()
+                self._hists[name] = acc
+            merged = acc.snapshot().merged(hist)
+            acc.count = merged.count
+            acc.total = merged.total
+            acc.min_v = merged.min_v
+            acc.max_v = merged.max_v
+            acc.buckets = list(merged.buckets)
 
     def reset(self) -> None:
         """Drop all recorded state (tests isolate themselves with this)."""
         self._counters.clear()
         self._gauges.clear()
         self._timers.clear()
+        self._hists.clear()
 
     def __iter__(self) -> Iterator[tuple[str, int]]:
         return iter(sorted(self._counters.items()))

@@ -25,6 +25,7 @@ to exactly the serial answer.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from contextlib import ExitStack
 from dataclasses import dataclass
 from functools import partial
@@ -71,8 +72,17 @@ class BatchOutcome:
 
     @property
     def success_rate(self) -> float:
-        """Fraction of queries returning at least one result."""
-        return float(np.count_nonzero(self.success)) / max(1, self.n_queries)
+        """Fraction of queries returning at least one result.
+
+        An *empty* batch has no well-defined rate: this returns ``nan``
+        rather than a silent 0.0, so a consumer surfacing the value as
+        a live metric (the serving layer does) can tell "no traffic"
+        from "every query failed".  Callers that want a number must
+        check :attr:`n_queries` first.
+        """
+        if not self.n_queries:
+            return float("nan")
+        return float(np.count_nonzero(self.success)) / self.n_queries
 
     @property
     def total_messages(self) -> int:
@@ -80,15 +90,30 @@ class BatchOutcome:
         return int(self.messages.sum())
 
     @staticmethod
+    def empty() -> "BatchOutcome":
+        """A zero-query outcome, column dtypes matching any real batch.
+
+        Columns are freshly allocated (never shared module globals), so
+        two empty outcomes can't alias each other's arrays.
+        """
+        return BatchOutcome(
+            success=np.empty(0, dtype=bool),
+            n_results=np.empty(0, dtype=np.int64),
+            messages=np.empty(0, dtype=np.int64),
+            peers_probed=np.empty(0, dtype=np.int64),
+        )
+
+    @staticmethod
     def concatenate(parts: Sequence["BatchOutcome"]) -> "BatchOutcome":
-        """Stitch per-chunk outcomes back into one batch, in order."""
+        """Stitch per-chunk outcomes back into one batch, in order.
+
+        ``concatenate([])`` returns :meth:`empty`, whose column dtypes
+        (bool / int64 x3) match every evaluator-produced outcome — so
+        concatenating it with non-empty parts never widens or narrows
+        a column.
+        """
         if not parts:
-            return BatchOutcome(
-                success=np.empty(0, dtype=bool),
-                n_results=_EMPTY,
-                messages=_EMPTY,
-                peers_probed=_EMPTY,
-            )
+            return BatchOutcome.empty()
         return BatchOutcome(
             success=np.concatenate([p.success for p in parts]),
             n_results=np.concatenate([p.n_results for p in parts]),
@@ -164,7 +189,12 @@ def _evaluate_keys(
 
 #: Worker-side flood caches, one per attached topology spec, so every
 #: chunk a pool worker runs reuses the BFS results of earlier chunks.
-_WORKER_CACHES: dict[object, FloodDepthCache] = {}
+#: Bounded: a long-lived worker that evaluates many topologies keeps
+#: only the most recent few, so retired topologies' depth maps (and
+#: the attached views they pin, which would otherwise block the shm
+#: attach-cache LRU from unmapping their segments) are released.
+_WORKER_CACHES: "OrderedDict[object, FloodDepthCache]" = OrderedDict()
+_WORKER_CACHE_MAX = 4
 
 
 def _chunk_task(
@@ -195,6 +225,10 @@ def _chunk_task(
     if cache is None:
         cache = FloodDepthCache(topology)
         _WORKER_CACHES[topo_spec] = cache
+        if len(_WORKER_CACHES) > _WORKER_CACHE_MAX:
+            _WORKER_CACHES.popitem(last=False)
+    else:
+        _WORKER_CACHES.move_to_end(topo_spec)
     distinct = [k for k in dict.fromkeys(keys) if k is not None]
     memo: dict[QueryKey, np.ndarray] = dict(
         zip(distinct, intersect_postings_batch(postings, distinct))
@@ -231,6 +265,7 @@ class BatchQueryEngine:
         flood_cache_entries: int = 256,
         depth_provider: DepthProvider | None = None,
         postings: PostingsProvider | None = None,
+        topo_spec: object | None = None,
     ) -> None:
         if topology.n_nodes != content.n_peers:
             raise ValueError(
@@ -248,6 +283,13 @@ class BatchQueryEngine:
             )
         self.topology = topology
         self.content = content
+        # Spec of an already-published SharedTopology wrapping the same
+        # bytes as ``topology``.  A resident process (the serving loop)
+        # publishes once at startup and passes the spec here, so the
+        # fan-out path attaches instead of re-exporting the CSR arrays
+        # on every batch.  The caller keeps the owner alive for the
+        # engine's lifetime.
+        self.topo_spec = topo_spec
         # Optional posting-list provider override (e.g. an attached
         # PostingShardSet): the serial path prefetches misses through
         # it, and the fan-out path reuses its already-published shm
@@ -364,7 +406,11 @@ class BatchQueryEngine:
             if hi > lo
         ]
         with ExitStack() as stack:
-            topo = stack.enter_context(SharedTopology(self.topology))
+            topo_spec = self.topo_spec
+            if topo_spec is None:
+                topo_spec = stack.enter_context(
+                    SharedTopology(self.topology)
+                ).spec
             post_spec = getattr(self.postings, "spec", None)
             if post_spec is None:
                 if self.postings is not None:
@@ -380,7 +426,7 @@ class BatchQueryEngine:
                     ).spec
             task = partial(
                 _chunk_task,
-                topo_spec=topo.spec,
+                topo_spec=topo_spec,
                 post_spec=post_spec,
                 ttl_schedule=ttl_schedule,
                 min_results=min_results,

@@ -69,8 +69,7 @@ from repro.runtime.sanitize import freeze
 from repro.runtime.shm import (
     SharedArraySpec,
     SharedPostingsSpec,
-    _ATTACHED,
-    _SEGMENTS,
+    _CACHE,
     _SharedArrayOwner,
     _attach_arrays,
     _export,
@@ -163,7 +162,7 @@ class ShardedTopology(_SharedArrayOwner):
                 shard_views.append(
                     TopologyShard(shard.lo, shard.hi, off_view, nbr_view)
                 )
-        self.spec = ShardedTopologySpec(
+        spec = ShardedTopologySpec(
             bounds=tuple(int(b) for b in shard_set.bounds),
             forwards=fwd_spec,
             shards=tuple(shard_specs),
@@ -171,14 +170,16 @@ class ShardedTopology(_SharedArrayOwner):
                 tuple(int(c) for c in row) for row in shard_set.boundary_counts
             ),
         )
-        self._segments = segments
-        self._closed = False
-        _ATTACHED[self.spec] = ShardSet(
-            bounds=freeze(np.asarray(self.spec.bounds, dtype=np.int64)),
-            forwards=fwd_view,
-            shards=tuple(shard_views),
-            boundary_counts=freeze(
-                np.asarray(self.spec.boundary_counts, dtype=np.int64)
+        self._adopt(
+            spec,
+            segments,
+            ShardSet(
+                bounds=freeze(np.asarray(spec.bounds, dtype=np.int64)),
+                forwards=fwd_view,
+                shards=tuple(shard_views),
+                boundary_counts=freeze(
+                    np.asarray(spec.boundary_counts, dtype=np.int64)
+                ),
             ),
         )
 
@@ -193,7 +194,7 @@ class ShardedTopology(_SharedArrayOwner):
 
 def attach_shard_set(spec: ShardedTopologySpec) -> ShardSet:
     """Map a published shard set into this process (cached, read-only)."""
-    cached = _ATTACHED.get(spec)
+    cached = _CACHE.get(spec)
     if cached is not None:
         assert isinstance(cached, ShardSet)
         return cached
@@ -211,8 +212,7 @@ def attach_shard_set(spec: ShardedTopologySpec) -> ShardSet:
         shards=shards,
         boundary_counts=freeze(np.asarray(spec.boundary_counts, dtype=np.int64)),
     )
-    _ATTACHED[spec] = shard_set
-    _SEGMENTS[spec] = segments
+    _CACHE.put(spec, shard_set, segments)
     return shard_set
 
 
@@ -289,18 +289,20 @@ class ShardedPostings(_SharedArrayOwner):
                 shard_views.append(
                     PostingShard(shard.lo, shard.hi, off_view, ins_view)
                 )
-        self.spec = ShardedPostingsSpec(
+        spec = ShardedPostingsSpec(
             bounds=tuple(int(b) for b in shard_set.bounds),
             instance_peer=pee_spec,
             shards=tuple(shard_specs),
         )
-        self._segments = segments
-        self._closed = False
-        _ATTACHED[self.spec] = PostingShardSet(
-            bounds=freeze(np.asarray(self.spec.bounds, dtype=np.int64)),
-            shards=tuple(shard_views),
-            instance_peer=pee_view,
-            spec=self.spec,
+        self._adopt(
+            spec,
+            segments,
+            PostingShardSet(
+                bounds=freeze(np.asarray(spec.bounds, dtype=np.int64)),
+                shards=tuple(shard_views),
+                instance_peer=pee_view,
+                spec=spec,
+            ),
         )
 
     def __enter__(self) -> "ShardedPostings":
@@ -314,7 +316,7 @@ class ShardedPostings(_SharedArrayOwner):
 
 def attach_sharded_postings(spec: ShardedPostingsSpec) -> PostingShardSet:
     """Map published posting shards into this process (cached, read-only)."""
-    cached = _ATTACHED.get(spec)
+    cached = _CACHE.get(spec)
     if cached is not None:
         assert isinstance(cached, PostingShardSet)
         return cached
@@ -332,8 +334,7 @@ def attach_sharded_postings(spec: ShardedPostingsSpec) -> PostingShardSet:
         instance_peer=arrays[0],
         spec=spec,
     )
-    _ATTACHED[spec] = shard_set
-    _SEGMENTS[spec] = segments
+    _CACHE.put(spec, shard_set, segments)
     return shard_set
 
 

@@ -1,0 +1,230 @@
+"""Minimal HTTP/1.1 framing over asyncio streams (stdlib only).
+
+The service needs exactly four verbs of HTTP: read a request with a
+``Content-Length`` body, write a response with one, keep the
+connection alive between the two, and say a status code.  This module
+implements that subset directly over ``asyncio`` streams rather than
+pulling in a web framework — the repo's no-new-dependency constraint
+is a feature here, since the whole wire format stays auditable in one
+page.
+
+Not implemented (requests using them get a 4xx): chunked transfer
+encoding, multipart bodies, HTTP/1.0 keep-alive negotiation, TLS.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = [
+    "HttpError",
+    "HttpRequest",
+    "HttpResponse",
+    "MAX_BODY_BYTES",
+    "MAX_HEAD_BYTES",
+    "json_bytes",
+    "read_request",
+    "read_response",
+    "render_request",
+    "render_response",
+]
+
+#: Request-line + headers must fit here (also the stream's readuntil
+#: limit); bodies are bounded separately.
+MAX_HEAD_BYTES = 16 * 1024
+
+#: Default request-body bound; ~512 queries of a few terms is ~50 KB,
+#: so 1 MiB leaves an order of magnitude of headroom.
+MAX_BODY_BYTES = 1024 * 1024
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    431: "Request Header Fields Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+class HttpError(Exception):
+    """Malformed or oversized HTTP framing; carries the reply status."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+@dataclass(frozen=True)
+class HttpRequest:
+    """One parsed request: verb, path, lowercased headers, raw body."""
+
+    method: str
+    path: str
+    headers: dict[str, str]
+    body: bytes
+
+    @property
+    def keep_alive(self) -> bool:
+        """Whether the client asked to reuse the connection."""
+        return self.headers.get("connection", "keep-alive").lower() != "close"
+
+    def json(self) -> Any:
+        """Decode the body as JSON (:class:`HttpError` 400 on failure)."""
+        try:
+            return json.loads(self.body)
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise HttpError(400, f"invalid JSON body: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class HttpResponse:
+    """One parsed response (client side)."""
+
+    status: int
+    headers: dict[str, str]
+    body: bytes
+
+    def json(self) -> Any:
+        """Decode the body as JSON (raises ``ValueError`` on failure)."""
+        return json.loads(self.body)
+
+
+async def _read_head(reader: asyncio.StreamReader) -> list[str] | None:
+    """Read and split one head block; ``None`` on clean EOF."""
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise HttpError(400, "connection closed mid-request") from exc
+    except asyncio.LimitOverrunError as exc:
+        raise HttpError(431, "request head too large") from exc
+    if len(head) > MAX_HEAD_BYTES:
+        raise HttpError(431, "request head too large")
+    return head.decode("latin-1").split("\r\n")
+
+
+def _parse_headers(lines: list[str]) -> dict[str, str]:
+    headers: dict[str, str] = {}
+    for line in lines:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise HttpError(400, f"malformed header line: {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    return headers
+
+
+async def _read_body(
+    reader: asyncio.StreamReader, headers: dict[str, str], *, max_body: int
+) -> bytes:
+    if headers.get("transfer-encoding"):
+        raise HttpError(400, "chunked transfer encoding is not supported")
+    raw_length = headers.get("content-length", "0")
+    try:
+        length = int(raw_length)
+    except ValueError as exc:
+        raise HttpError(400, f"bad Content-Length: {raw_length!r}") from exc
+    if length < 0:
+        raise HttpError(400, f"bad Content-Length: {raw_length!r}")
+    if length > max_body:
+        raise HttpError(413, f"body of {length} bytes exceeds {max_body}")
+    if not length:
+        return b""
+    try:
+        return await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise HttpError(400, "connection closed mid-body") from exc
+
+
+async def read_request(
+    reader: asyncio.StreamReader, *, max_body: int = MAX_BODY_BYTES
+) -> HttpRequest | None:
+    """Read one request off a connection; ``None`` on clean EOF."""
+    lines = await _read_head(reader)
+    if lines is None:
+        return None
+    parts = lines[0].split(" ")
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise HttpError(400, f"malformed request line: {lines[0]!r}")
+    method, target, _version = parts
+    headers = _parse_headers(lines[1:])
+    body = await _read_body(reader, headers, max_body=max_body)
+    # Strip any query string: the service routes on the path alone.
+    path = target.partition("?")[0]
+    return HttpRequest(
+        method=method.upper(), path=path, headers=headers, body=body
+    )
+
+
+async def read_response(reader: asyncio.StreamReader) -> HttpResponse:
+    """Read one response off a connection (client side)."""
+    lines = await _read_head(reader)
+    if lines is None:
+        raise HttpError(400, "connection closed before response")
+    parts = lines[0].split(" ", 2)
+    if len(parts) < 2 or not parts[0].startswith("HTTP/1."):
+        raise HttpError(400, f"malformed status line: {lines[0]!r}")
+    try:
+        status = int(parts[1])
+    except ValueError as exc:
+        raise HttpError(400, f"malformed status line: {lines[0]!r}") from exc
+    headers = _parse_headers(lines[1:])
+    body = await _read_body(reader, headers, max_body=MAX_BODY_BYTES)
+    return HttpResponse(status=status, headers=headers, body=body)
+
+
+def json_bytes(obj: Any) -> bytes:
+    """Compact UTF-8 JSON encoding (strict: ``nan`` must not appear)."""
+    return json.dumps(obj, separators=(",", ":"), allow_nan=False).encode()
+
+
+def render_response(
+    status: int,
+    body: bytes,
+    *,
+    content_type: str = "application/json",
+    extra_headers: tuple[tuple[str, str], ...] = (),
+    keep_alive: bool = True,
+) -> bytes:
+    """Serialize one response, always with an explicit Content-Length."""
+    reason = _REASONS.get(status, "Unknown")
+    lines = [
+        f"HTTP/1.1 {status} {reason}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(body)}",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    lines.extend(f"{name}: {value}" for name, value in extra_headers)
+    head = "\r\n".join(lines).encode("latin-1")
+    return head + b"\r\n\r\n" + body
+
+
+def render_request(
+    method: str,
+    path: str,
+    body: bytes = b"",
+    *,
+    host: str = "localhost",
+) -> bytes:
+    """Serialize one request (client side)."""
+    lines = [
+        f"{method} {path} HTTP/1.1",
+        f"Host: {host}",
+        "Content-Type: application/json",
+        f"Content-Length: {len(body)}",
+        "Connection: keep-alive",
+    ]
+    head = "\r\n".join(lines).encode("latin-1")
+    return head + b"\r\n\r\n" + body

@@ -1,0 +1,245 @@
+"""Wire protocol of the overlay query service: parse + encode, no I/O.
+
+Every request body is parsed by a pure function into a frozen request
+dataclass (validated against explicit bounds, including the serving
+topology's node count), and every engine result is encoded by a pure
+function into a JSON-ready dict.  Keeping this layer free of sockets
+and queues is what makes the service's parity guarantee testable: the
+golden tests compare ``encode_outcome(direct_engine_call)`` against
+the bytes the HTTP path returned.
+
+JSON notes: ``success_rate`` is ``null`` for an empty batch (the
+engine reports ``nan``, which strict JSON cannot carry), and all array
+columns are plain lists so a client needs no custom decoding.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any
+
+from repro.overlay.batch import BatchOutcome
+
+__all__ = [
+    "FloodProbeRequest",
+    "MAX_QUERIES_PER_REQUEST",
+    "MAX_TTL",
+    "ProtocolError",
+    "ResolvabilityRequest",
+    "SearchRequest",
+    "encode_outcome",
+    "parse_flood_probe",
+    "parse_resolvability",
+    "parse_search",
+]
+
+#: Hard per-request batch bound: one request may not monopolize the
+#: micro-batcher (admission control works per request, so a single
+#: huge request would bypass it).
+MAX_QUERIES_PER_REQUEST = 512
+
+#: TTL sanity bound — the paper's schedules top out at 8; anything
+#: beyond this is a malformed request, not a deeper search (BFS reach
+#: saturates at the graph diameter anyway).
+MAX_TTL = 32
+
+
+class ProtocolError(ValueError):
+    """A request that fails validation; maps to HTTP 400."""
+
+
+def _require_mapping(doc: Any) -> dict:
+    if not isinstance(doc, dict):
+        raise ProtocolError("request body must be a JSON object")
+    return doc
+
+
+def _require_int(doc: dict, key: str, default: int | None = None) -> int:
+    value = doc.get(key, default)
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ProtocolError(f"'{key}' must be an integer")
+    return value
+
+
+def _optional_timeout(doc: dict) -> float | None:
+    value = doc.get("timeout_s")
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ProtocolError("'timeout_s' must be a number")
+    timeout = float(value)
+    if not math.isfinite(timeout) or timeout <= 0:
+        raise ProtocolError("'timeout_s' must be positive and finite")
+    return timeout
+
+
+def _parse_queries(
+    doc: dict, *, max_queries: int
+) -> tuple[tuple[str, ...], ...]:
+    raw = doc.get("queries")
+    if not isinstance(raw, list) or not raw:
+        raise ProtocolError("'queries' must be a non-empty list")
+    if len(raw) > max_queries:
+        raise ProtocolError(
+            f"at most {max_queries} queries per request, got {len(raw)}"
+        )
+    queries: list[tuple[str, ...]] = []
+    for i, query in enumerate(raw):
+        if not isinstance(query, list) or not query:
+            raise ProtocolError(
+                f"queries[{i}] must be a non-empty list of terms"
+            )
+        if not all(isinstance(term, str) and term for term in query):
+            raise ProtocolError(
+                f"queries[{i}] terms must be non-empty strings"
+            )
+        queries.append(tuple(query))
+    return tuple(queries)
+
+
+def _parse_schedule(doc: dict) -> tuple[int, ...]:
+    """``ttl`` (single flood) or ``ttl_schedule`` (expanding ring)."""
+    if "ttl" in doc and "ttl_schedule" in doc:
+        raise ProtocolError("give either 'ttl' or 'ttl_schedule', not both")
+    if "ttl_schedule" in doc:
+        raw = doc["ttl_schedule"]
+        if not isinstance(raw, list) or not raw:
+            raise ProtocolError("'ttl_schedule' must be a non-empty list")
+        schedule = []
+        for t in raw:
+            if isinstance(t, bool) or not isinstance(t, int):
+                raise ProtocolError("'ttl_schedule' entries must be integers")
+            schedule.append(t)
+    else:
+        schedule = [_require_int(doc, "ttl", default=3)]
+    if any(t < 0 or t > MAX_TTL for t in schedule):
+        raise ProtocolError(f"TTLs must be in [0, {MAX_TTL}]")
+    if schedule != sorted(schedule):
+        raise ProtocolError("'ttl_schedule' must be non-decreasing")
+    return tuple(schedule)
+
+
+@dataclass(frozen=True)
+class SearchRequest:
+    """One validated ``POST /search`` body.
+
+    ``sources[i]`` floods ``queries[i]``; the whole request shares one
+    TTL schedule, which is also the micro-batcher's grouping key.
+    """
+
+    sources: tuple[int, ...]
+    queries: tuple[tuple[str, ...], ...]
+    ttl_schedule: tuple[int, ...]
+    min_results: int
+    timeout_s: float | None
+
+    @property
+    def n_queries(self) -> int:
+        """Number of (source, query) rows in the request."""
+        return len(self.queries)
+
+
+@dataclass(frozen=True)
+class ResolvabilityRequest:
+    """One validated ``POST /resolvability`` body (topology-free oracle)."""
+
+    queries: tuple[tuple[str, ...], ...]
+    timeout_s: float | None
+
+    @property
+    def n_queries(self) -> int:
+        """Number of queries in the request."""
+        return len(self.queries)
+
+
+@dataclass(frozen=True)
+class FloodProbeRequest:
+    """One validated ``POST /flood-probe`` body (reach of one source)."""
+
+    source: int
+    ttl: int
+    timeout_s: float | None
+
+
+def parse_search(
+    doc: Any,
+    *,
+    n_nodes: int,
+    max_queries: int = MAX_QUERIES_PER_REQUEST,
+) -> SearchRequest:
+    """Validate a ``/search`` body against the serving topology."""
+    body = _require_mapping(doc)
+    queries = _parse_queries(body, max_queries=max_queries)
+    raw_sources = body.get("sources")
+    if not isinstance(raw_sources, list):
+        raise ProtocolError("'sources' must be a list of peer ids")
+    if len(raw_sources) != len(queries):
+        raise ProtocolError(
+            f"{len(raw_sources)} sources for {len(queries)} queries"
+        )
+    sources: list[int] = []
+    for i, s in enumerate(raw_sources):
+        if isinstance(s, bool) or not isinstance(s, int):
+            raise ProtocolError(f"sources[{i}] must be an integer")
+        if not 0 <= s < n_nodes:
+            raise ProtocolError(
+                f"sources[{i}]={s} outside [0, {n_nodes})"
+            )
+        sources.append(s)
+    min_results = _require_int(body, "min_results", default=1)
+    if min_results < 1:
+        raise ProtocolError("'min_results' must be positive")
+    return SearchRequest(
+        sources=tuple(sources),
+        queries=queries,
+        ttl_schedule=_parse_schedule(body),
+        min_results=min_results,
+        timeout_s=_optional_timeout(body),
+    )
+
+
+def parse_resolvability(
+    doc: Any, *, max_queries: int = MAX_QUERIES_PER_REQUEST
+) -> ResolvabilityRequest:
+    """Validate a ``/resolvability`` body."""
+    body = _require_mapping(doc)
+    return ResolvabilityRequest(
+        queries=_parse_queries(body, max_queries=max_queries),
+        timeout_s=_optional_timeout(body),
+    )
+
+
+def parse_flood_probe(doc: Any, *, n_nodes: int) -> FloodProbeRequest:
+    """Validate a ``/flood-probe`` body against the serving topology."""
+    body = _require_mapping(doc)
+    source = _require_int(body, "source")
+    if not 0 <= source < n_nodes:
+        raise ProtocolError(f"'source'={source} outside [0, {n_nodes})")
+    ttl = _require_int(body, "ttl", default=3)
+    if not 0 <= ttl <= MAX_TTL:
+        raise ProtocolError(f"'ttl' must be in [0, {MAX_TTL}]")
+    return FloodProbeRequest(
+        source=source, ttl=ttl, timeout_s=_optional_timeout(body)
+    )
+
+
+def encode_outcome(outcome: BatchOutcome) -> dict:
+    """JSON-ready form of a :class:`BatchOutcome`, column-exact.
+
+    The list columns round-trip the engine's arrays value-for-value
+    (``tolist`` on bool/int64 yields plain ``bool``/``int``), which is
+    what the golden parity suite compares.  ``success_rate`` is
+    ``None`` for an empty batch — the engine's ``nan`` has no strict
+    JSON encoding.
+    """
+    rate = outcome.success_rate
+    return {
+        "n_queries": outcome.n_queries,
+        "success": outcome.success.tolist(),
+        "n_results": outcome.n_results.tolist(),
+        "messages": outcome.messages.tolist(),
+        "peers_probed": outcome.peers_probed.tolist(),
+        "success_rate": None if math.isnan(rate) else rate,
+        "total_messages": outcome.total_messages,
+    }

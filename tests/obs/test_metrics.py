@@ -133,3 +133,86 @@ class TestProcessLocalRegistry:
         assert doc["gauges"] == {"g": 1.5}
         assert doc["timers"]["t"]["count"] == 1
         assert doc["timers"]["t"]["mean_s"] == pytest.approx(0.5)
+
+
+class TestHistograms:
+    def test_empty_histogram(self, registry):
+        import math
+
+        hist = registry.histogram("never")
+        assert hist.count == 0
+        assert math.isnan(hist.quantile(0.5))
+        assert hist.mean == 0.0
+
+    def test_observe_and_quantiles(self, registry):
+        for ms in (1, 2, 3, 4, 100):
+            registry.observe_hist("lat", ms / 1000.0)
+        hist = registry.histogram("lat")
+        assert hist.count == 5
+        assert hist.mean == pytest.approx(0.022)
+        assert hist.min_v == pytest.approx(0.001)
+        assert hist.max_v == pytest.approx(0.1)
+        # Bucket-boundary estimates carry ~1.4x resolution.
+        assert 0.002 <= hist.quantile(0.5) <= 0.0045
+        assert 0.05 <= hist.quantile(0.99) <= 0.1
+
+    def test_quantile_bounds_validated(self, registry):
+        registry.observe_hist("lat", 0.5)
+        with pytest.raises(ValueError, match="quantile"):
+            registry.histogram("lat").quantile(1.5)
+
+    def test_degenerate_distribution_is_exact(self, registry):
+        for _ in range(10):
+            registry.observe_hist("lat", 0.25)
+        hist = registry.histogram("lat")
+        # All mass in one bucket: clamping to [min, max] recovers the
+        # exact value at every quantile.
+        assert hist.quantile(0.0) == pytest.approx(0.25)
+        assert hist.quantile(0.5) == pytest.approx(0.25)
+        assert hist.quantile(1.0) == pytest.approx(0.25)
+
+    def test_merge_matches_serial(self):
+        serial = MetricsRegistry()
+        coordinator = MetricsRegistry()
+        values = [0.001 * (i + 1) for i in range(30)]
+        for shard in range(3):
+            worker = MetricsRegistry()
+            before = worker.snapshot()
+            for v in values[shard * 10 : (shard + 1) * 10]:
+                worker.observe_hist("lat", v)
+                serial.observe_hist("lat", v)
+            coordinator.merge(worker.delta_since(before))
+        merged = coordinator.histogram("lat")
+        expected = serial.histogram("lat")
+        assert merged.buckets == expected.buckets
+        assert merged.count == expected.count
+        assert merged.min_v == expected.min_v
+        assert merged.max_v == expected.max_v
+        # Totals accumulate in different association orders.
+        assert merged.total == pytest.approx(expected.total)
+
+    def test_delta_subtracts_buckets(self, registry):
+        registry.observe_hist("lat", 0.01)
+        before = registry.snapshot()
+        registry.observe_hist("lat", 0.02)
+        delta = registry.delta_since(before)
+        assert delta.histograms["lat"].count == 1
+        assert sum(delta.histograms["lat"].buckets) == 1
+
+    def test_unchanged_histogram_not_in_delta(self, registry):
+        registry.observe_hist("lat", 0.01)
+        before = registry.snapshot()
+        assert "lat" not in registry.delta_since(before).histograms
+
+    def test_snapshot_roundtrip_and_as_dict(self, registry):
+        registry.observe_hist("lat", 0.004)
+        snap = pickle.loads(pickle.dumps(registry.snapshot()))
+        assert snap.histogram("lat").count == 1
+        doc = snap.as_dict()
+        assert doc["histograms"]["lat"]["count"] == 1
+        assert doc["histograms"]["lat"]["p99"] >= doc["histograms"]["lat"]["p50"]
+
+    def test_reset_clears_histograms(self, registry):
+        registry.observe_hist("lat", 0.1)
+        registry.reset()
+        assert registry.histogram("lat").count == 0

@@ -150,8 +150,34 @@ class TestBatchOutcome:
     def test_concatenate_empty(self):
         out = BatchOutcome.concatenate([])
         assert out.n_queries == 0
-        assert out.success_rate == 0.0
+        # An empty batch has no defined rate: nan, not a silent 0.0
+        # that a metrics consumer would read as "every query failed".
+        assert np.isnan(out.success_rate)
         assert out.total_messages == 0
+
+    def test_empty_columns_are_fresh_and_dtype_stable(self, network):
+        empty = BatchOutcome.concatenate([])
+        again = BatchOutcome.concatenate([])
+        # Fresh arrays per call — no shared module-global aliasing.
+        assert empty.n_results is not again.n_results
+        assert empty.messages is not again.messages
+        sources, queries = sample_workload(network.content, 5)
+        real = network.query_batch(sources, queries, ttl=2)
+        for col in ("success", "n_results", "messages", "peers_probed"):
+            assert getattr(empty, col).dtype == getattr(real, col).dtype
+        # Concatenating an empty outcome with real parts is an
+        # identity on both values and dtypes.
+        glued = BatchOutcome.concatenate([empty, real])
+        for col in ("success", "n_results", "messages", "peers_probed"):
+            np.testing.assert_array_equal(
+                getattr(glued, col), getattr(real, col)
+            )
+            assert getattr(glued, col).dtype == getattr(real, col).dtype
+
+    def test_single_query_success_rate_defined(self, network):
+        sources, queries = sample_workload(network.content, 1)
+        out = network.query_batch(sources, queries, ttl=2)
+        assert out.success_rate in (0.0, 1.0)
 
 
 class TestCaches:

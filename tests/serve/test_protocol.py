@@ -1,0 +1,172 @@
+"""Validation and encoding of the service wire protocol (pure, no I/O)."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.overlay.batch import BatchOutcome
+from repro.serve.http import json_bytes
+from repro.serve.protocol import (
+    MAX_TTL,
+    FloodProbeRequest,
+    ProtocolError,
+    ResolvabilityRequest,
+    SearchRequest,
+    encode_outcome,
+    parse_flood_probe,
+    parse_resolvability,
+    parse_search,
+)
+
+N_NODES = 100
+
+
+def _search_body(**overrides) -> dict:
+    body = {
+        "sources": [3, 7],
+        "queries": [["beatles"], ["pink", "floyd"]],
+        "ttl": 3,
+    }
+    body.update(overrides)
+    return body
+
+
+class TestParseSearch:
+    def test_happy_path(self):
+        request = parse_search(_search_body(), n_nodes=N_NODES)
+        assert isinstance(request, SearchRequest)
+        assert request.sources == (3, 7)
+        assert request.queries == (("beatles",), ("pink", "floyd"))
+        assert request.ttl_schedule == (3,)
+        assert request.min_results == 1
+        assert request.timeout_s is None
+        assert request.n_queries == 2
+
+    def test_ttl_schedule_expanding_ring(self):
+        body = _search_body()
+        del body["ttl"]
+        body["ttl_schedule"] = [1, 3, 5]
+        request = parse_search(body, n_nodes=N_NODES)
+        assert request.ttl_schedule == (1, 3, 5)
+
+    def test_ttl_and_schedule_conflict(self):
+        body = _search_body(ttl_schedule=[1, 2])
+        with pytest.raises(ProtocolError, match="not both"):
+            parse_search(body, n_nodes=N_NODES)
+
+    def test_schedule_must_be_non_decreasing(self):
+        body = _search_body()
+        del body["ttl"]
+        body["ttl_schedule"] = [3, 1]
+        with pytest.raises(ProtocolError, match="non-decreasing"):
+            parse_search(body, n_nodes=N_NODES)
+
+    def test_ttl_bounds(self):
+        with pytest.raises(ProtocolError, match=rf"\[0, {MAX_TTL}\]"):
+            parse_search(_search_body(ttl=MAX_TTL + 1), n_nodes=N_NODES)
+        with pytest.raises(ProtocolError, match=rf"\[0, {MAX_TTL}\]"):
+            parse_search(_search_body(ttl=-1), n_nodes=N_NODES)
+
+    def test_source_out_of_range(self):
+        with pytest.raises(ProtocolError, match="outside"):
+            parse_search(
+                _search_body(sources=[3, N_NODES]), n_nodes=N_NODES
+            )
+        with pytest.raises(ProtocolError, match="outside"):
+            parse_search(_search_body(sources=[-1, 7]), n_nodes=N_NODES)
+
+    def test_source_count_must_match_queries(self):
+        with pytest.raises(ProtocolError, match="sources for"):
+            parse_search(_search_body(sources=[1]), n_nodes=N_NODES)
+
+    def test_bool_is_not_an_integer(self):
+        # JSON true would pass an isinstance(int) check; the protocol
+        # rejects it explicitly.
+        with pytest.raises(ProtocolError, match="integer"):
+            parse_search(_search_body(sources=[True, 7]), n_nodes=N_NODES)
+        with pytest.raises(ProtocolError, match="integer"):
+            parse_search(_search_body(ttl=True), n_nodes=N_NODES)
+
+    def test_queries_shape_rejections(self):
+        for bad in ([], [[]], [["ok"], [""]], [["ok"], [7]], "nope"):
+            with pytest.raises(ProtocolError):
+                parse_search(_search_body(queries=bad, sources=[1, 2]),
+                             n_nodes=N_NODES)
+
+    def test_query_count_bound(self):
+        body = _search_body(
+            sources=list(range(5)), queries=[["a"]] * 5
+        )
+        with pytest.raises(ProtocolError, match="at most 4"):
+            parse_search(body, n_nodes=N_NODES, max_queries=4)
+
+    def test_min_results_positive(self):
+        with pytest.raises(ProtocolError, match="min_results"):
+            parse_search(_search_body(min_results=0), n_nodes=N_NODES)
+
+    def test_timeout_validation(self):
+        request = parse_search(_search_body(timeout_s=2.5), n_nodes=N_NODES)
+        assert request.timeout_s == 2.5
+        for bad in (0, -1.0, math.inf, math.nan, "soon", True):
+            with pytest.raises(ProtocolError, match="timeout_s"):
+                parse_search(_search_body(timeout_s=bad), n_nodes=N_NODES)
+
+    def test_body_must_be_object(self):
+        with pytest.raises(ProtocolError, match="JSON object"):
+            parse_search([1, 2], n_nodes=N_NODES)
+
+
+class TestParseOthers:
+    def test_resolvability(self):
+        request = parse_resolvability({"queries": [["beatles"]]})
+        assert isinstance(request, ResolvabilityRequest)
+        assert request.queries == (("beatles",),)
+        assert request.n_queries == 1
+
+    def test_resolvability_requires_queries(self):
+        with pytest.raises(ProtocolError, match="queries"):
+            parse_resolvability({})
+
+    def test_flood_probe(self):
+        request = parse_flood_probe({"source": 5, "ttl": 2}, n_nodes=N_NODES)
+        assert request == FloodProbeRequest(source=5, ttl=2, timeout_s=None)
+
+    def test_flood_probe_defaults_ttl(self):
+        assert parse_flood_probe({"source": 5}, n_nodes=N_NODES).ttl == 3
+
+    def test_flood_probe_bounds(self):
+        with pytest.raises(ProtocolError, match="outside"):
+            parse_flood_probe({"source": N_NODES}, n_nodes=N_NODES)
+        with pytest.raises(ProtocolError, match="ttl"):
+            parse_flood_probe({"source": 0, "ttl": -1}, n_nodes=N_NODES)
+
+
+class TestEncodeOutcome:
+    def test_columns_roundtrip_exactly(self):
+        outcome = BatchOutcome(
+            success=np.array([True, False]),
+            n_results=np.array([4, 0], dtype=np.int64),
+            messages=np.array([120, 95], dtype=np.int64),
+            peers_probed=np.array([30, 28], dtype=np.int64),
+        )
+        doc = encode_outcome(outcome)
+        assert doc["success"] == [True, False]
+        assert doc["n_results"] == [4, 0]
+        assert doc["messages"] == [120, 95]
+        assert doc["peers_probed"] == [30, 28]
+        assert doc["success_rate"] == 0.5
+        assert doc["total_messages"] == 215
+        # Values are native JSON types, not numpy scalars.
+        assert json.loads(json_bytes(doc)) == doc
+
+    def test_empty_batch_is_strict_json(self):
+        # The engine reports nan for an empty batch; the wire form must
+        # still be strict JSON (json_bytes forbids nan).
+        doc = encode_outcome(BatchOutcome.empty())
+        assert doc["success_rate"] is None
+        assert doc["n_queries"] == 0
+        assert json.loads(json_bytes(doc))["success_rate"] is None

@@ -1,0 +1,169 @@
+"""End-to-end HTTP tests: real sockets, real framing, real drain.
+
+The parity assertions here are the strongest in the suite: the dict a
+client decodes off the wire must equal the dict a direct engine call
+encodes — socket, framing, queue, micro-batcher and all.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.serve.client import ServiceClient
+from repro.serve.server import OverlayQueryServer
+from repro.serve.service import ServicePolicy
+
+from tests.serve.conftest import direct_reply, make_search
+
+
+def _run(coro):
+    return asyncio.run(coro)
+
+
+async def _with_server(state, scenario, *, policy=None):
+    server = OverlayQueryServer(state, policy=policy)
+    await server.start()
+    client = ServiceClient(server.host, server.port)
+    try:
+        return await scenario(server, client)
+    finally:
+        await client.close()
+        await server.shutdown(drain_timeout_s=10.0)
+
+
+def _request_body(request) -> dict:
+    body = {
+        "sources": list(request.sources),
+        "queries": [list(q) for q in request.queries],
+        "ttl_schedule": list(request.ttl_schedule),
+        "min_results": request.min_results,
+    }
+    if request.timeout_s is not None:
+        body["timeout_s"] = request.timeout_s
+    return body
+
+
+class TestRoutes:
+    def test_healthz_reports_resident_state(self, serve_state):
+        async def scenario(server, client):
+            return (await client.get("/healthz")).json()
+
+        doc = _run(_with_server(serve_state, scenario))
+        assert doc["status"] == "ok"
+        assert doc["n_nodes"] == serve_state.n_nodes
+        assert doc["n_terms"] == serve_state.n_terms
+        assert doc["queue_depth"] == 0
+
+    def test_search_over_the_wire_is_bitwise_direct(
+        self, serve_state, query_pool
+    ):
+        request = make_search(
+            query_pool, sources=(5, 17, 60), picks=(1, 2, 6),
+            ttl_schedule=(1, 3),
+        )
+
+        async def scenario(server, client):
+            response = await client.post("/search", _request_body(request))
+            return response.status, response.json()
+
+        status, body = _run(_with_server(serve_state, scenario))
+        assert status == 200
+        assert body == direct_reply(serve_state, request)
+
+    def test_resolvability_and_flood_probe_routes(self, serve_state):
+        known = serve_state.content.term_index.term_string(0)
+
+        async def scenario(server, client):
+            res = await client.post("/resolvability", {"queries": [[known]]})
+            probe = await client.post("/flood-probe", {"source": 3, "ttl": 2})
+            return res.json(), probe.json()
+
+        res, probe = _run(_with_server(serve_state, scenario))
+        assert res == serve_state.resolvability(((known,),))
+        assert probe == serve_state.flood_probe(3, 2)
+
+    def test_metrics_counts_requests(self, serve_state):
+        async def scenario(server, client):
+            await client.get("/healthz")
+            return (await client.get("/metrics")).json()
+
+        doc = _run(_with_server(serve_state, scenario))
+        assert doc["counters"]["serve.http.requests"] >= 1
+
+
+class TestErrorPaths:
+    def test_protocol_error_is_400(self, serve_state):
+        async def scenario(server, client):
+            response = await client.post(
+                "/search",
+                {"sources": [serve_state.n_nodes], "queries": [["x"]]},
+            )
+            return response.status, response.json()
+
+        status, body = _run(_with_server(serve_state, scenario))
+        assert status == 400
+        assert "outside" in body["error"]
+
+    def test_invalid_json_is_400(self, serve_state):
+        async def scenario(server, client):
+            response = await client.request("POST", "/search", ["not a dict"])
+            return response.status
+
+        assert _run(_with_server(serve_state, scenario)) == 400
+
+    def test_unknown_path_404_wrong_method_405(self, serve_state):
+        async def scenario(server, client):
+            missing = await client.get("/nope")
+            wrong = await client.get("/search")
+            return missing.status, wrong.status
+
+        assert _run(_with_server(serve_state, scenario)) == (404, 405)
+
+    def test_keep_alive_survives_an_error_response(self, serve_state):
+        # A 404 must not poison the connection for the next request.
+        async def scenario(server, client):
+            await client.get("/nope")
+            return (await client.get("/healthz")).status
+
+        assert _run(_with_server(serve_state, scenario)) == 200
+
+
+class TestLifecycle:
+    def test_run_serves_until_stop_then_drains(self, serve_state, query_pool):
+        request = make_search(query_pool, sources=(2,), picks=(0,))
+
+        async def scenario():
+            server = OverlayQueryServer(serve_state)
+            ready = asyncio.Event()
+            runner = asyncio.create_task(
+                server.run(
+                    handle_signals=False,
+                    drain_timeout_s=10.0,
+                    ready=lambda s: ready.set(),
+                )
+            )
+            await ready.wait()
+            async with ServiceClient(server.host, server.port) as client:
+                response = await client.post(
+                    "/search", _request_body(request)
+                )
+                status = response.status
+            server.request_stop()
+            await asyncio.wait_for(runner, timeout=30)
+            return status
+
+        assert _run(scenario()) == 200
+
+    def test_after_shutdown_the_socket_is_released(self, serve_state):
+        async def scenario():
+            server = OverlayQueryServer(serve_state)
+            await server.start()
+            port = server.port
+            await server.shutdown(drain_timeout_s=10.0)
+            try:
+                await asyncio.open_connection(server.host, port)
+            except OSError:
+                return True
+            return False
+
+        assert _run(scenario()) is True
